@@ -1,0 +1,454 @@
+package qaoaml
+
+// One benchmark per paper table/figure plus the ablation benches called
+// out in DESIGN.md. Experiment benches run at a reduced scale (the
+// structure of the computation is identical to the paper scale; only
+// counts differ) so `go test -bench=. -benchmem` finishes in minutes.
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"qaoaml/internal/core"
+	"qaoaml/internal/experiments"
+	"qaoaml/internal/graph"
+	"qaoaml/internal/linalg"
+	"qaoaml/internal/ml"
+	"qaoaml/internal/optimize"
+	"qaoaml/internal/qaoa"
+	"qaoaml/internal/quantum"
+)
+
+// benchScale is the reduced experiment scale shared by the per-figure
+// benchmarks.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		NumGraphs:  16,
+		Nodes:      8,
+		EdgeProb:   0.5,
+		MaxDepth:   3,
+		Starts:     4,
+		TrainFrac:  0.4,
+		Reps:       1,
+		TestGraphs: 4,
+		MaxTarget:  3,
+		Seed:       1,
+	}
+}
+
+var (
+	benchEnvOnce sync.Once
+	benchEnvVal  *experiments.Env
+	benchEnvErr  error
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() { benchEnvVal, benchEnvErr = experiments.NewEnv(benchScale()) })
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnvVal
+}
+
+// --- one bench per paper artifact ---
+
+// BenchmarkDataGen regenerates the Sec. III-A optimal-parameter dataset
+// (reduced scale).
+func BenchmarkDataGen(b *testing.B) {
+	cfg := core.DataGenConfig{
+		NumGraphs: 4, Nodes: 8, EdgeProb: 0.5,
+		MaxDepth: 3, Starts: 3, Tol: 1e-6, Seed: 2,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table I (naive vs two-level, 4 optimizers).
+func BenchmarkTable1(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable1(env)
+		if len(res.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig1c regenerates Fig. 1(c) (AR/FC distributions vs depth).
+func BenchmarkFig1c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig1c(3, 3, 3)
+		if len(res.Points) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Fig. 2 (within-depth parameter patterns).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig2(3, 4)
+		if len(res.Schedules) == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Fig. 3 (parameter trends vs depth).
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig3(3, 3, 5)
+		if len(res.GammaByDepth) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5 (correlation analysis).
+func BenchmarkFig5(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig5(env)
+		if len(res.Gamma) == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Fig. 6 (prediction-error distributions).
+func BenchmarkFig6(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig6(env)
+		if len(res.Points) == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkModelComparison regenerates the Sec. III-C model ranking.
+func BenchmarkModelComparison(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunModelComparison(env)
+		if err != nil || len(res.Scores) != 4 {
+			b.Fatalf("bad result (%v)", err)
+		}
+	}
+}
+
+// --- ablation benches (design choices from DESIGN.md) ---
+
+func benchProblem(b *testing.B) *qaoa.Problem {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	pb, err := qaoa.NewProblem(graph.ErdosRenyiConnected(8, 0.5, rng))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pb
+}
+
+// BenchmarkPhaseSeparatorDiagonal measures the fast diagonal path for
+// one full depth-3 expectation evaluation.
+func BenchmarkPhaseSeparatorDiagonal(b *testing.B) {
+	pb := benchProblem(b)
+	pr := qaoa.Params{Gamma: []float64{0.4, 0.7, 0.9}, Beta: []float64{0.5, 0.3, 0.2}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pb.Expectation(pr)
+	}
+}
+
+// BenchmarkPhaseSeparatorGates measures the explicit CNOT·RZ·CNOT gate
+// decomposition for the same circuit (the paper's literal circuit).
+func BenchmarkPhaseSeparatorGates(b *testing.B) {
+	pb := benchProblem(b)
+	pr := qaoa.Params{Gamma: []float64{0.4, 0.7, 0.9}, Beta: []float64{0.5, 0.3, 0.2}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := pb.BuildCircuit(pr).Simulate()
+		_ = st.ExpectationDiagonal(pb.CutTable)
+	}
+}
+
+// BenchmarkExpectation measures one expectation evaluation per depth.
+func BenchmarkExpectation(b *testing.B) {
+	pb := benchProblem(b)
+	for _, depth := range []int{1, 3, 5} {
+		pr := qaoa.NewParams(depth)
+		for i := range pr.Gamma {
+			pr.Gamma[i] = 0.5
+			pr.Beta[i] = 0.3
+		}
+		b.Run(map[int]string{1: "p1", 3: "p3", 5: "p5"}[depth], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = pb.Expectation(pr)
+			}
+		})
+	}
+}
+
+// BenchmarkGradient compares the central vs forward finite-difference
+// schemes on a depth-3 QAOA objective.
+func BenchmarkGradient(b *testing.B) {
+	pb := benchProblem(b)
+	ev := qaoa.NewEvaluator(pb, 3)
+	bounds := core.ParamBounds(3)
+	x := bounds.Random(rand.New(rand.NewSource(8)))
+	for _, scheme := range []optimize.FDScheme{optimize.CentralDiff, optimize.ForwardDiff} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = optimize.Gradient(ev.NegExpectation, x, ev.NegExpectation(x), bounds, scheme, 1e-6)
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizer runs each of the four local optimizers to
+// convergence on the same depth-2 instance from the same start.
+func BenchmarkOptimizer(b *testing.B) {
+	pb := benchProblem(b)
+	bounds := core.ParamBounds(2)
+	x0 := bounds.Random(rand.New(rand.NewSource(9)))
+	for _, opt := range experiments.Optimizers() {
+		b.Run(opt.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ev := qaoa.NewEvaluator(pb, 2)
+				r := opt.Minimize(ev.NegExpectation, append([]float64(nil), x0...), bounds)
+				if r.NFev == 0 {
+					b.Fatal("no evaluations")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTwoLevelVsNaive measures one naive run and one two-level run
+// at target depth 3 — the per-instance cost Table I aggregates.
+func BenchmarkTwoLevelVsNaive(b *testing.B) {
+	env := benchEnv(b)
+	pb := env.Data.Problems[env.TestIDs[0]]
+	opt := &optimize.LBFGSB{Tol: 1e-6}
+	b.Run("naive", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(10))
+		for i := 0; i < b.N; i++ {
+			_ = core.NaiveRun(pb, 3, opt, rng)
+		}
+	})
+	b.Run("twolevel", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(10))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.TwoLevel(pb, 3, opt, env.Predictor, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGPR measures predictor-model fit and predict costs on a
+// dataset-shaped task (3 features, 60 samples).
+func BenchmarkGPR(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	x := make([][]float64, 60)
+	y := make([]float64, 60)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64(), float64(2 + rng.Intn(4))}
+		y[i] = x[i][0]*0.5 + x[i][1]*0.2 + 0.1*x[i][2]
+	}
+	b.Run("fit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var g ml.GPR
+			if err := g.Fit(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("predict", func(b *testing.B) {
+		var g ml.GPR
+		if err := g.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+		q := []float64{0.4, 0.3, 3}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = g.Predict(q)
+		}
+	})
+}
+
+// BenchmarkMaxCutBruteForce measures the exact classical solve used for
+// approximation ratios (8 nodes → 128 assignments).
+func BenchmarkMaxCutBruteForce(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	g := graph.ErdosRenyiConnected(8, 0.5, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.MaxCut()
+	}
+}
+
+// BenchmarkStateGates measures raw simulator gate throughput at 8 qubits.
+func BenchmarkStateGates(b *testing.B) {
+	b.Run("H", func(b *testing.B) {
+		s := quantum.NewState(8)
+		for i := 0; i < b.N; i++ {
+			s.H(i % 8)
+		}
+	})
+	b.Run("RX", func(b *testing.B) {
+		s := quantum.NewState(8)
+		for i := 0; i < b.N; i++ {
+			s.RX(i%8, 0.3)
+		}
+	})
+	b.Run("CNOT", func(b *testing.B) {
+		s := quantum.NewState(8)
+		for i := 0; i < b.N; i++ {
+			s.CNOT(i%8, (i+1)%8)
+		}
+	})
+	b.Run("ZZ", func(b *testing.B) {
+		s := quantum.NewState(8)
+		for i := 0; i < b.N; i++ {
+			s.ZZ(i%8, (i+1)%8, 0.4)
+		}
+	})
+}
+
+// BenchmarkHierarchical regenerates the Sec. I(d) hierarchical-vs-
+// two-level ablation.
+func BenchmarkHierarchical(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHierarchical(env)
+		if err != nil || len(res.Rows) == 0 {
+			b.Fatalf("bad result (%v)", err)
+		}
+	}
+}
+
+// BenchmarkSPSA measures the hardware-practical SPSA optimizer on the
+// same instance as BenchmarkOptimizer for comparison.
+func BenchmarkSPSA(b *testing.B) {
+	pb := benchProblem(b)
+	bounds := core.ParamBounds(2)
+	x0 := bounds.Random(rand.New(rand.NewSource(9)))
+	for i := 0; i < b.N; i++ {
+		ev := qaoa.NewEvaluator(pb, 2)
+		r := (&optimize.SPSA{Seed: 13}).Minimize(ev.NegExpectation, append([]float64(nil), x0...), bounds)
+		if r.NFev == 0 {
+			b.Fatal("no evaluations")
+		}
+	}
+}
+
+// BenchmarkCanonicalize measures the symmetry folding applied to every
+// recorded optimum.
+func BenchmarkCanonicalize(b *testing.B) {
+	pb := benchProblem(b)
+	pr := qaoa.Params{Gamma: []float64{5.9, 1.2, 4.4}, Beta: []float64{2.3, -0.4, 1.9}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pb.Canonicalize(pr)
+	}
+}
+
+// BenchmarkWeightedExpectation measures a weighted-MaxCut expectation
+// evaluation (same code path as Table I but with non-unit weights).
+func BenchmarkWeightedExpectation(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	g := graph.New(8)
+	for u := 0; u < 8; u++ {
+		for v := u + 1; v < 8; v++ {
+			if rng.Float64() < 0.5 {
+				if err := g.AddWeightedEdge(u, v, 0.5+rng.Float64()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	pb, err := qaoa.NewProblem(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr := qaoa.Params{Gamma: []float64{0.4, 0.7}, Beta: []float64{0.5, 0.3}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pb.Expectation(pr)
+	}
+}
+
+// BenchmarkDatasetPersistence measures dataset save/load round trips.
+func BenchmarkDatasetPersistence(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := env.Data.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Load(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNoiseSweep regenerates the depolarizing-noise extension
+// figure at reduced trajectory count.
+func BenchmarkNoiseSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunNoiseSweep(2, 2, 20, 15)
+		if len(res.Points) == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkNoisyExpectation measures one Monte-Carlo noisy expectation
+// (100 trajectories) vs the exact path in BenchmarkExpectation.
+func BenchmarkNoisyExpectation(b *testing.B) {
+	pb := benchProblem(b)
+	pr := qaoa.Params{Gamma: []float64{0.4, 0.7}, Beta: []float64{0.5, 0.3}}
+	nm := quantum.NoiseModel{P1: 0.001, P2: 0.01}
+	rng := rand.New(rand.NewSource(16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pb.NoisyExpectation(pr, nm, 100, rng)
+	}
+}
+
+// BenchmarkEigenSym measures the Jacobi eigensolver on an 8×8 graph
+// Laplacian (the spectral-utility hot path).
+func BenchmarkEigenSym(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	g := graph.ErdosRenyiConnected(8, 0.5, rng)
+	l := g.LaplacianMatrix()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := linalg.EigenSym(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

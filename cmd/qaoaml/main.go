@@ -1,0 +1,268 @@
+// Command qaoaml regenerates every table and figure of "Accelerating
+// Quantum Approximate Optimization Algorithm using Machine Learning"
+// (Alam, Ash-Saki, Ghosh — DATE 2020).
+//
+// Usage:
+//
+//	qaoaml [flags] <experiment>
+//
+// Experiments: datagen, table1, fig1c, fig2, fig3, fig5, fig6, mlcmp, all.
+//
+// The default scale runs in tens of seconds; -paper restores the
+// paper's full setup (330 graphs, 20 starts, 20 reps — minutes of CPU).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"qaoaml/internal/core"
+	"qaoaml/internal/experiments"
+	"qaoaml/internal/stats"
+)
+
+func main() {
+	var (
+		paper      = flag.Bool("paper", false, "use the paper's full experimental scale")
+		graphs     = flag.Int("graphs", 0, "override dataset graph count")
+		nodes      = flag.Int("nodes", 0, "override graph size")
+		maxDepth   = flag.Int("maxdepth", 0, "override dataset max depth")
+		starts     = flag.Int("starts", 0, "override datagen multistart count")
+		reps       = flag.Int("reps", 0, "override Table I repetitions per graph")
+		testGraphs = flag.Int("test-graphs", -1, "cap on test graphs (0 = all)")
+		trainFrac  = flag.Float64("train-frac", 0, "override train split fraction")
+		maxTarget  = flag.Int("max-target", 0, "override largest target depth")
+		seed       = flag.Int64("seed", 0, "override RNG seed")
+		saveData   = flag.String("save-data", "", "write the generated dataset to this JSON file")
+		csvDir     = flag.String("csv", "", "also write each experiment's result as CSV into this directory")
+		loadData   = flag.String("load-data", "", "load the dataset from this JSON file instead of generating")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	scale := experiments.DefaultScale()
+	if *paper {
+		scale = experiments.PaperScale()
+	}
+	if *graphs > 0 {
+		scale.NumGraphs = *graphs
+	}
+	if *nodes > 0 {
+		scale.Nodes = *nodes
+	}
+	if *maxDepth > 0 {
+		scale.MaxDepth = *maxDepth
+	}
+	if *starts > 0 {
+		scale.Starts = *starts
+	}
+	if *reps > 0 {
+		scale.Reps = *reps
+	}
+	if *testGraphs >= 0 {
+		scale.TestGraphs = *testGraphs
+	}
+	if *trainFrac > 0 {
+		scale.TrainFrac = *trainFrac
+	}
+	if *maxTarget > 0 {
+		scale.MaxTarget = *maxTarget
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	if err := run(flag.Arg(0), scale, *saveData, *loadData, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "qaoaml:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: qaoaml [flags] <experiment>
+
+experiments:
+  datagen   generate the optimal-parameter dataset and print summary stats
+  table1    Table I  — naive vs two-level FC/AR for 4 optimizers × depths
+  fig1c     Fig 1(c) — AR and QC-call distributions vs depth
+  fig2      Fig 2    — within-depth optimal parameter patterns
+  fig3      Fig 3    — optimal parameters vs circuit depth
+  fig5      Fig 5    — predictor/response correlation analysis
+  fig6      Fig 6    — ML prediction error distributions
+  mlcmp     Sec III-C — GPR vs LM vs RTREE vs RSVM comparison
+  hier      Sec I(d)  — hierarchical vs two-level vs naive ablation
+  spsa      extension — two-level initialization under SPSA
+  noise     extension — AR degradation under depolarizing gate noise
+  all       everything above (one shared dataset)
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+// needsEnv reports whether the experiment requires the generated
+// dataset and trained predictor.
+func needsEnv(name string) bool {
+	switch name {
+	case "fig1c", "fig2", "fig3", "noise":
+		return false
+	}
+	return true
+}
+
+func run(name string, scale experiments.Scale, saveData, loadData, csvDir string) error {
+	start := time.Now()
+	var env *experiments.Env
+	if needsEnv(name) {
+		var err error
+		if loadData != "" {
+			fmt.Printf("loading dataset from %s...\n", loadData)
+			data, lerr := core.LoadFile(loadData)
+			if lerr != nil {
+				return lerr
+			}
+			env, err = experiments.NewEnvFromData(scale, data)
+		} else {
+			fmt.Printf("generating dataset: %d graphs × depths 1..%d × %d starts (seed %d)...\n",
+				scale.NumGraphs, scale.MaxDepth, scale.Starts, scale.Seed)
+			env, err = experiments.NewEnv(scale)
+		}
+		if err != nil {
+			return err
+		}
+		if saveData != "" {
+			if err := env.Data.SaveFile(saveData); err != nil {
+				return err
+			}
+			fmt.Printf("dataset written to %s\n", saveData)
+		}
+		fmt.Printf("dataset ready in %v: %d optimal parameters, %d train / %d test graphs\n\n",
+			time.Since(start).Round(time.Millisecond), env.Data.NumParams(),
+			len(env.TrainIDs), len(env.TestIDs))
+	}
+
+	// report prints a result and, with -csv, also writes <id>.csv.
+	report := func(id string, res interface {
+		String() string
+		CSV() string
+	}) error {
+		fmt.Println(res)
+		if csvDir == "" {
+			return nil
+		}
+		path := filepath.Join(csvDir, experiments.CSVName(id))
+		if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", path)
+		return nil
+	}
+
+	switch name {
+	case "datagen":
+		printDatagenSummary(env)
+	case "table1":
+		return finish(start, report("table1", experiments.RunTable1(env)))
+	case "fig1c":
+		return finish(start, report("fig1c", experiments.RunFig1c(scale.MaxTarget, scale.Starts, scale.Seed)))
+	case "fig2":
+		return finish(start, report("fig2", experiments.RunFig2(scale.Starts, scale.Seed)))
+	case "fig3":
+		return finish(start, report("fig3", experiments.RunFig3(scale.MaxTarget, scale.Starts, scale.Seed)))
+	case "fig5":
+		return finish(start, report("fig5", experiments.RunFig5(env)))
+	case "fig6":
+		return finish(start, report("fig6", experiments.RunFig6(env)))
+	case "mlcmp":
+		res, err := experiments.RunModelComparison(env)
+		if err != nil {
+			return err
+		}
+		return finish(start, report("mlcmp", res))
+	case "hier":
+		res, err := experiments.RunHierarchical(env)
+		if err != nil {
+			return err
+		}
+		return finish(start, report("hier", res))
+	case "spsa":
+		return finish(start, report("spsa", experiments.RunSPSAExtension(env)))
+	case "noise":
+		return finish(start, report("noise", experiments.RunNoiseSweep(scale.MaxTarget, 4, 200, scale.Seed)))
+	case "all":
+		printDatagenSummary(env)
+		if err := report("fig1c", experiments.RunFig1c(scale.MaxTarget, scale.Starts, scale.Seed)); err != nil {
+			return err
+		}
+		if err := report("fig2", experiments.RunFig2(scale.Starts, scale.Seed)); err != nil {
+			return err
+		}
+		if err := report("fig3", experiments.RunFig3(scale.MaxTarget, scale.Starts, scale.Seed)); err != nil {
+			return err
+		}
+		if err := report("fig5", experiments.RunFig5(env)); err != nil {
+			return err
+		}
+		if err := report("fig6", experiments.RunFig6(env)); err != nil {
+			return err
+		}
+		res, err := experiments.RunModelComparison(env)
+		if err != nil {
+			return err
+		}
+		if err := report("mlcmp", res); err != nil {
+			return err
+		}
+		if env.Scale.MaxDepth >= 3 {
+			hres, err := experiments.RunHierarchical(env)
+			if err != nil {
+				return err
+			}
+			if err := report("hier", hres); err != nil {
+				return err
+			}
+		}
+		if err := report("table1", experiments.RunTable1(env)); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q (run with no arguments for usage)", name)
+	}
+	return finish(start, nil)
+}
+
+// finish prints the wall time and passes through err.
+func finish(start time.Time, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func printDatagenSummary(env *experiments.Env) {
+	data := env.Data
+	fmt.Printf("dataset summary (cf. Sec. III-A):\n")
+	fmt.Printf("  graphs: %d (n=%d, Erdős–Rényi p=%.2f), depths 1..%d, %d starts each\n",
+		len(data.Problems), data.Config.Nodes, data.Config.EdgeProb,
+		data.Config.MaxDepth, data.Config.Starts)
+	fmt.Printf("  optimal parameters: %d (paper: 13,860 at full scale)\n", data.NumParams())
+	for d := 1; d <= data.Config.MaxDepth; d++ {
+		var ars, fcs []float64
+		for g := range data.Problems {
+			rec := data.Record(g, d)
+			ars = append(ars, rec.AR)
+			fcs = append(fcs, rec.MeanFev)
+		}
+		fmt.Printf("  depth %d: AR %s\n           FC/start %s\n",
+			d, stats.Summarize(ars), stats.Summarize(fcs))
+	}
+	fmt.Println()
+}

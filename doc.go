@@ -1,0 +1,24 @@
+// Package qaoaml is a from-scratch Go reproduction of "Accelerating
+// Quantum Approximate Optimization Algorithm using Machine Learning"
+// (Alam, Ash-Saki, Ghosh — DATE 2020, arXiv:2002.01089).
+//
+// The paper's contribution — predicting good initial QAOA gate
+// parameters for a depth-pt MaxCut instance from the optimized depth-1
+// parameters with a regression model, cutting optimization-loop
+// iterations by ~45% on average — lives in internal/core. Every
+// substrate the paper depends on is implemented here as well:
+//
+//   - internal/quantum  — exact state-vector simulator (replaces QuTiP)
+//   - internal/qaoa     — QAOA MaxCut circuits, expectation, AR
+//   - internal/graph    — Erdős–Rényi / regular graphs, exact MaxCut
+//   - internal/optimize — L-BFGS-B, Nelder-Mead, SLSQP, COBYLA (replaces SciPy)
+//   - internal/ml       — GPR, linear, tree, SVR regression (replaces MATLAB)
+//   - internal/linalg   — dense linear algebra (Cholesky, QR, LU)
+//   - internal/stats    — descriptive statistics and correlations
+//   - internal/experiments — one runner per paper table/figure
+//
+// The cmd/qaoaml command regenerates every table and figure; see
+// README.md, DESIGN.md and EXPERIMENTS.md. The benchmarks in
+// bench_test.go cover each experiment plus the ablations called out in
+// DESIGN.md.
+package qaoaml

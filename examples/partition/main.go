@@ -1,0 +1,70 @@
+// Number partitioning: QAOA beyond MaxCut via the general
+// diagonal-cost API.
+//
+// Splits a set of numbers into two halves with equal sums. The cost
+// C(z) = −(Σᵢ sᵢ(−1)^{zᵢ})² is diagonal in the computational basis, so
+// the same QAOA machinery (phase separator exp(−iγC), RX mixers, the
+// classical optimizers) applies unchanged.
+//
+//	go run ./examples/partition
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qaoaml/internal/optimize"
+	"qaoaml/internal/qaoa"
+)
+
+func main() {
+	numbers := []float64{9, 7, 6, 5, 4, 3}
+	fmt.Printf("numbers: %v (sum %v)\n", numbers, sum(numbers))
+
+	dp, err := qaoa.NumberPartitionProblem(numbers)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best achievable cost: %g (0 = perfect partition)\n\n", dp.OptValue)
+
+	// The cost scale is O(sum²), so useful γ are much smaller than the
+	// MaxCut domain; give the optimizer a scaled box.
+	const depth = 3
+	lo := make([]float64, 2*depth)
+	hi := make([]float64, 2*depth)
+	for i := 0; i < depth; i++ {
+		hi[i] = 0.2                // γ
+		hi[depth+i] = qaoa.BetaMax // β
+	}
+	bounds := optimize.NewBounds(lo, hi)
+
+	ev := dp.NewEvaluator(depth)
+	opt := &optimize.LBFGSB{Tol: 1e-6}
+	rng := rand.New(rand.NewSource(2))
+	ms := optimize.MultiStart(opt, ev.NegExpectation, bounds, 20, rng)
+	params := qaoa.FromVector(ms.Best.X)
+
+	fmt.Printf("QAOA depth %d, 20 starts, %d QC calls\n", depth, ms.TotalNFev)
+	fmt.Printf("⟨C⟩ = %.4f, normalized score %.4f\n",
+		dp.Expectation(params), dp.NormalizedScore(params))
+
+	cost, assign := dp.BestSampled(params)
+	var left, right []float64
+	for i, s := range numbers {
+		if (assign>>uint(i))&1 == 0 {
+			left = append(left, s)
+		} else {
+			right = append(right, s)
+		}
+	}
+	fmt.Printf("partition: %v (sum %g) | %v (sum %g), cost %g\n",
+		left, sum(left), right, sum(right), cost)
+}
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

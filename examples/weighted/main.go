@@ -1,0 +1,62 @@
+// Weighted MaxCut: QAOA on a graph with non-uniform edge weights.
+//
+// Builds a weighted 6-node graph, solves it with depth-2 QAOA, and
+// shows that the optimizer routes the cut through the heavy edges. The
+// phase separator generalizes per edge to CNOT·RZ(−γ·w)·CNOT, an
+// extension beyond the paper's unit-weight benchmark.
+//
+//	go run ./examples/weighted
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qaoaml/internal/core"
+	"qaoaml/internal/graph"
+	"qaoaml/internal/optimize"
+	"qaoaml/internal/qaoa"
+)
+
+func main() {
+	// A 6-cycle with two heavy chords: the best cut must cross them.
+	g := graph.New(6)
+	edges := []struct {
+		u, v int
+		w    float64
+	}{
+		{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}, {4, 5, 1}, {5, 0, 1},
+		{0, 3, 4.0}, // heavy chord
+		{1, 4, 3.0}, // heavy chord
+	}
+	for _, e := range edges {
+		if err := g.AddWeightedEdge(e.u, e.v, e.w); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("graph: %v\n", g)
+
+	pb, err := qaoa.NewProblem(g)
+	if err != nil {
+		panic(err)
+	}
+	optV, optAssign := g.WeightedMaxCut()
+	fmt.Printf("exact weighted MaxCut: %g at %06b\n\n", optV, optAssign)
+
+	rng := rand.New(rand.NewSource(11))
+	opt := &optimize.LBFGSB{Tol: 1e-6}
+	rec := core.OptimizeDepth(pb, 0, 2, 10, opt, rng)
+
+	fmt.Printf("QAOA depth 2, 10 starts: ⟨C⟩ = %.4f (AR %.4f), %d QC calls\n",
+		pb.Expectation(rec.Params), rec.AR, rec.NFev)
+	cut, assign := pb.BestSampledCut(rec.Params)
+	fmt.Printf("most probable assignment: %06b → cut %g\n", assign, cut)
+
+	heavyCut := 0
+	for _, e := range []struct{ u, v int }{{0, 3}, {1, 4}} {
+		if (assign>>uint(e.u))&1 != (assign>>uint(e.v))&1 {
+			heavyCut++
+		}
+	}
+	fmt.Printf("heavy chords crossed: %d of 2\n", heavyCut)
+}

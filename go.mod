@@ -1,0 +1,3 @@
+module qaoaml
+
+go 1.22

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"qaoaml/internal/graph"
+	"qaoaml/internal/optimize"
+	"qaoaml/internal/qaoa"
+)
+
+// DataGenConfig describes the paper's dataset generation recipe
+// (Sec. III-A): Erdős–Rényi graphs, depths 1..MaxDepth, multistart
+// L-BFGS-B at tolerance 1e-6 restricted to β ∈ [0, π], γ ∈ [0, 2π].
+type DataGenConfig struct {
+	NumGraphs int                // graphs to draw (paper: 330)
+	Nodes     int                // vertices per graph (paper: 8)
+	EdgeProb  float64            // Erdős–Rényi edge probability (paper: 0.5)
+	MaxDepth  int                // optimize depths 1..MaxDepth (paper: 6)
+	Starts    int                // random multistarts per (graph, depth) (paper: 20)
+	Tol       float64            // functional tolerance (paper: 1e-6)
+	Seed      int64              // RNG seed for graphs and starts
+	Workers   int                // parallel workers (default GOMAXPROCS)
+	Optimizer optimize.Optimizer // default L-BFGS-B
+}
+
+// DefaultDataGenConfig returns a medium-scale configuration: the
+// paper's recipe with a reduced graph count so it runs in seconds.
+// Set NumGraphs to 330 for the full paper scale.
+func DefaultDataGenConfig() DataGenConfig {
+	return DataGenConfig{
+		NumGraphs: 60,
+		Nodes:     8,
+		EdgeProb:  0.5,
+		MaxDepth:  6,
+		Starts:    20,
+		Tol:       1e-6,
+		Seed:      1,
+	}
+}
+
+func (c *DataGenConfig) fillDefaults() error {
+	if c.NumGraphs < 1 {
+		return fmt.Errorf("core: NumGraphs %d < 1", c.NumGraphs)
+	}
+	if c.Nodes < 2 {
+		return fmt.Errorf("core: Nodes %d < 2", c.Nodes)
+	}
+	if c.EdgeProb <= 0 || c.EdgeProb > 1 {
+		return fmt.Errorf("core: EdgeProb %v out of (0,1]", c.EdgeProb)
+	}
+	if c.MaxDepth < 1 {
+		return fmt.Errorf("core: MaxDepth %d < 1", c.MaxDepth)
+	}
+	if c.Starts < 1 {
+		return fmt.Errorf("core: Starts %d < 1", c.Starts)
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Optimizer == nil {
+		c.Optimizer = &optimize.LBFGSB{Tol: c.Tol}
+	}
+	return nil
+}
+
+// Record is one dataset row: the best parameters found for one
+// (graph, depth) pair, with the cost of finding them.
+type Record struct {
+	GraphID int
+	Depth   int
+	Params  qaoa.Params // best over all starts
+	NegF    float64     // objective at the optimum (−⟨C⟩)
+	AR      float64     // approximation ratio at the optimum
+	NFev    int         // total QC calls across all starts
+	MeanFev float64     // mean QC calls per start
+}
+
+// Data is the generated optimal-parameter dataset.
+type Data struct {
+	Config   DataGenConfig
+	Problems []*qaoa.Problem // indexed by graph id
+	// Records[g][d-1] is the record for graph g at depth d.
+	Records [][]Record
+}
+
+// Record returns the record for graph g at depth d (1-based depth).
+func (d *Data) Record(g, depth int) Record { return d.Records[g][depth-1] }
+
+// NumParams returns the total count of optimal scalar parameters in the
+// dataset (the paper quotes 13,860 = 330 graphs · Σ_{p=1..6} 2p).
+func (d *Data) NumParams() int {
+	total := 0
+	for _, recs := range d.Records {
+		for _, r := range recs {
+			total += 2 * r.Depth
+		}
+	}
+	return total
+}
+
+// ParamBounds returns the paper's optimization domain for depth p:
+// γi ∈ [0, 2π] then βi ∈ [0, π] in flat-vector order.
+func ParamBounds(p int) *optimize.Bounds {
+	lo := make([]float64, 2*p)
+	hi := make([]float64, 2*p)
+	for i := 0; i < p; i++ {
+		hi[i] = qaoa.GammaMax
+		hi[p+i] = qaoa.BetaMax
+	}
+	return optimize.NewBounds(lo, hi)
+}
+
+// OptimizeDepth finds the best depth-p parameters for a problem by
+// multistart local optimization and returns a Record. Any seed params
+// (e.g. the INTERP initialization from the previous depth) replace the
+// same number of random starts, so the total start count is unchanged.
+func OptimizeDepth(pb *qaoa.Problem, graphID, depth, starts int, opt optimize.Optimizer, rng *rand.Rand, seeds ...qaoa.Params) Record {
+	ev := qaoa.NewEvaluator(pb, depth)
+	bounds := ParamBounds(depth)
+	points := make([][]float64, 0, starts)
+	for _, s := range seeds {
+		if len(points) == starts-1 && starts > 1 {
+			break // always keep at least one random start
+		}
+		points = append(points, bounds.Clip(s.Vector()))
+	}
+	for len(points) < starts {
+		points = append(points, bounds.Random(rng))
+	}
+	ms := optimize.MultiStartFrom(opt, ev.NegExpectation, bounds, points)
+	// Canonicalize so that symmetric copies of the optimum (the QAOA
+	// landscape's β-period and conjugation symmetries) map to one
+	// representative; without this the ML targets are inconsistent
+	// across graphs and the parameter trends of Figs. 2-3 wash out.
+	params := pb.Canonicalize(qaoa.FromVector(ms.Best.X))
+	return Record{
+		GraphID: graphID,
+		Depth:   depth,
+		Params:  params,
+		NegF:    ms.Best.F,
+		AR:      pb.ApproximationRatio(params),
+		NFev:    ms.TotalNFev,
+		MeanFev: float64(ms.TotalNFev) / float64(starts),
+	}
+}
+
+// Generate produces the dataset: NumGraphs Erdős–Rényi graphs, each
+// optimized at depths 1..MaxDepth from Starts random initializations.
+// Graph sampling is deterministic in Seed; per-graph optimization runs
+// use independent seeded RNGs so results are reproducible regardless of
+// worker scheduling.
+func Generate(cfg DataGenConfig) (*Data, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	graphRNG := rand.New(rand.NewSource(cfg.Seed))
+	problems := make([]*qaoa.Problem, cfg.NumGraphs)
+	for g := 0; g < cfg.NumGraphs; g++ {
+		gr := graph.ErdosRenyiConnected(cfg.Nodes, cfg.EdgeProb, graphRNG)
+		pb, err := qaoa.NewProblem(gr)
+		if err != nil {
+			return nil, fmt.Errorf("core: graph %d: %w", g, err)
+		}
+		problems[g] = pb
+	}
+
+	records := make([][]Record, cfg.NumGraphs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for g := 0; g < cfg.NumGraphs; g++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(g int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(g)*7919 + 13))
+			recs := make([]Record, cfg.MaxDepth)
+			for depth := 1; depth <= cfg.MaxDepth; depth++ {
+				// Seed one start with the interpolated previous-depth
+				// optimum (Zhou et al. INTERP) so best-of-starts lands in
+				// the regular optimum family the paper's trends rely on.
+				var seeds []qaoa.Params
+				if depth > 1 {
+					seeds = append(seeds, qaoa.Interpolate(recs[depth-2].Params))
+				}
+				recs[depth-1] = OptimizeDepth(problems[g], g, depth, cfg.Starts, cfg.Optimizer, rng, seeds...)
+			}
+			records[g] = recs
+		}(g)
+	}
+	wg.Wait()
+	return &Data{Config: cfg, Problems: problems, Records: records}, nil
+}
+
+// SplitIndices deterministically shuffles graph ids and splits them
+// into train/test id sets with the given train fraction (paper: 0.2).
+func (d *Data) SplitIndices(trainFrac float64, seed int64) (train, test []int) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic(fmt.Sprintf("core: train fraction %v out of (0,1)", trainFrac))
+	}
+	n := len(d.Problems)
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	nTrain := int(float64(n)*trainFrac + 0.5)
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	if nTrain > n-1 {
+		nTrain = n - 1
+	}
+	return idx[:nTrain], idx[nTrain:]
+}

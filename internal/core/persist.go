@@ -1,0 +1,164 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"qaoaml/internal/graph"
+	"qaoaml/internal/qaoa"
+)
+
+// The dataset takes minutes to generate at paper scale but is a
+// one-time cost (Sec. III-A); Save/Load let the CLI and downstream
+// users generate once and retrain/re-evaluate cheaply.
+
+// dataFile is the JSON schema of a persisted dataset.
+type dataFile struct {
+	Version int            `json:"version"`
+	Config  configFile     `json:"config"`
+	Graphs  [][][2]int     `json:"graphs"` // edge lists, one per graph
+	Nodes   int            `json:"nodes"`
+	Records [][]recordFile `json:"records"`
+}
+
+type configFile struct {
+	NumGraphs int     `json:"num_graphs"`
+	Nodes     int     `json:"nodes"`
+	EdgeProb  float64 `json:"edge_prob"`
+	MaxDepth  int     `json:"max_depth"`
+	Starts    int     `json:"starts"`
+	Tol       float64 `json:"tol"`
+	Seed      int64   `json:"seed"`
+}
+
+type recordFile struct {
+	GraphID int       `json:"graph_id"`
+	Depth   int       `json:"depth"`
+	Gamma   []float64 `json:"gamma"`
+	Beta    []float64 `json:"beta"`
+	NegF    float64   `json:"neg_f"`
+	AR      float64   `json:"ar"`
+	NFev    int       `json:"nfev"`
+	MeanFev float64   `json:"mean_fev"`
+}
+
+const dataFileVersion = 1
+
+// Save serializes the dataset as JSON.
+func (d *Data) Save(w io.Writer) error {
+	df := dataFile{
+		Version: dataFileVersion,
+		Config: configFile{
+			NumGraphs: d.Config.NumGraphs,
+			Nodes:     d.Config.Nodes,
+			EdgeProb:  d.Config.EdgeProb,
+			MaxDepth:  d.Config.MaxDepth,
+			Starts:    d.Config.Starts,
+			Tol:       d.Config.Tol,
+			Seed:      d.Config.Seed,
+		},
+		Nodes: d.Config.Nodes,
+	}
+	for _, pb := range d.Problems {
+		var edges [][2]int
+		for _, e := range pb.Graph.Edges() {
+			edges = append(edges, [2]int{e.U, e.V})
+		}
+		df.Graphs = append(df.Graphs, edges)
+	}
+	for _, recs := range d.Records {
+		var rf []recordFile
+		for _, r := range recs {
+			rf = append(rf, recordFile{
+				GraphID: r.GraphID, Depth: r.Depth,
+				Gamma: r.Params.Gamma, Beta: r.Params.Beta,
+				NegF: r.NegF, AR: r.AR, NFev: r.NFev, MeanFev: r.MeanFev,
+			})
+		}
+		df.Records = append(df.Records, rf)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(df)
+}
+
+// SaveFile writes the dataset to path.
+func (d *Data) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load deserializes a dataset previously written by Save, rebuilding
+// the per-graph cost tables and exact optima.
+func Load(r io.Reader) (*Data, error) {
+	var df dataFile
+	if err := json.NewDecoder(r).Decode(&df); err != nil {
+		return nil, fmt.Errorf("core: decoding dataset: %w", err)
+	}
+	if df.Version != dataFileVersion {
+		return nil, fmt.Errorf("core: unsupported dataset version %d (want %d)", df.Version, dataFileVersion)
+	}
+	if len(df.Graphs) != len(df.Records) {
+		return nil, fmt.Errorf("core: dataset has %d graphs but %d record rows", len(df.Graphs), len(df.Records))
+	}
+	d := &Data{
+		Config: DataGenConfig{
+			NumGraphs: df.Config.NumGraphs,
+			Nodes:     df.Config.Nodes,
+			EdgeProb:  df.Config.EdgeProb,
+			MaxDepth:  df.Config.MaxDepth,
+			Starts:    df.Config.Starts,
+			Tol:       df.Config.Tol,
+			Seed:      df.Config.Seed,
+		},
+	}
+	for gi, edges := range df.Graphs {
+		g := graph.New(df.Nodes)
+		for _, e := range edges {
+			if err := g.AddEdge(e[0], e[1]); err != nil {
+				return nil, fmt.Errorf("core: dataset graph %d: %w", gi, err)
+			}
+		}
+		pb, err := qaoa.NewProblem(g)
+		if err != nil {
+			return nil, fmt.Errorf("core: dataset graph %d: %w", gi, err)
+		}
+		d.Problems = append(d.Problems, pb)
+	}
+	for gi, rf := range df.Records {
+		if len(rf) != d.Config.MaxDepth {
+			return nil, fmt.Errorf("core: graph %d has %d depth records, want %d", gi, len(rf), d.Config.MaxDepth)
+		}
+		var recs []Record
+		for di, r := range rf {
+			if r.Depth != di+1 || len(r.Gamma) != r.Depth || len(r.Beta) != r.Depth {
+				return nil, fmt.Errorf("core: malformed record graph %d depth %d", gi, di+1)
+			}
+			recs = append(recs, Record{
+				GraphID: r.GraphID, Depth: r.Depth,
+				Params: qaoa.Params{Gamma: r.Gamma, Beta: r.Beta},
+				NegF:   r.NegF, AR: r.AR, NFev: r.NFev, MeanFev: r.MeanFev,
+			})
+		}
+		d.Records = append(d.Records, recs)
+	}
+	return d, nil
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) (*Data, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"qaoaml/internal/ml"
+	"qaoaml/internal/qaoa"
+)
+
+// Predictor maps the two-level features (γ1OPT(p=1), β1OPT(p=1), pt) to
+// the 2·pt parameters of the target-depth instance. Because the output
+// width varies with pt, the predictor keeps one multi-output regression
+// bank per target depth, all sharing the same model family.
+type Predictor struct {
+	// NewModel constructs the underlying single-output model family
+	// (default: GPR, the paper's best performer).
+	NewModel func() ml.Regressor
+
+	banks map[int]*ml.MultiOutput // target depth → trained bank
+}
+
+// NewPredictor returns a Predictor using the given model factory
+// (nil selects GPR).
+func NewPredictor(factory func() ml.Regressor) *Predictor {
+	if factory == nil {
+		factory = func() ml.Regressor { return &ml.GPR{} }
+	}
+	return &Predictor{NewModel: factory, banks: make(map[int]*ml.MultiOutput)}
+}
+
+// TargetDepths lists the depths the predictor was trained for.
+func (p *Predictor) TargetDepths() []int {
+	var out []int
+	for d := 2; d <= 64; d++ {
+		if _, ok := p.banks[d]; ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Train fits the predictor from the dataset restricted to the training
+// graph ids, for every target depth 2..cfg.MaxDepth.
+func (p *Predictor) Train(data *Data, trainIDs []int) error {
+	maxDepth := data.Config.MaxDepth
+	if maxDepth < 2 {
+		return fmt.Errorf("core: dataset max depth %d < 2 cannot train a predictor", maxDepth)
+	}
+	for depth := 2; depth <= maxDepth; depth++ {
+		var x [][]float64
+		var y [][]float64
+		for _, g := range trainIDs {
+			p1 := data.Record(g, 1).Params
+			target := data.Record(g, depth).Params
+			x = append(x, FeaturesFromParams(p1, depth).Vector())
+			y = append(y, target.Vector())
+		}
+		bank := ml.NewMultiOutput(p.NewModel)
+		if err := bank.Fit(x, y); err != nil {
+			return fmt.Errorf("core: training depth-%d bank: %w", depth, err)
+		}
+		p.banks[depth] = bank
+	}
+	return nil
+}
+
+// Predict returns the predicted target-depth parameters for the given
+// features, clipped into the paper's domain (γ ∈ [0, 2π], β ∈ [0, π]).
+func (p *Predictor) Predict(f Features) (qaoa.Params, error) {
+	bank, ok := p.banks[f.TargetDepth]
+	if !ok {
+		return qaoa.Params{}, fmt.Errorf("core: no bank trained for target depth %d", f.TargetDepth)
+	}
+	raw := bank.Predict(f.Vector())
+	return clipParams(qaoa.FromVector(raw)), nil
+}
+
+// clipParams projects parameters into the optimization domain.
+func clipParams(pr qaoa.Params) qaoa.Params {
+	for i := range pr.Gamma {
+		pr.Gamma[i] = clamp(pr.Gamma[i], 0, qaoa.GammaMax)
+		pr.Beta[i] = clamp(pr.Beta[i], 0, qaoa.BetaMax)
+	}
+	return pr
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// HierPredictor is the hierarchical variant: one bank per target depth
+// ≥ 3, trained on the richer HierFeatures (depth-1 and depth-2 optima).
+type HierPredictor struct {
+	NewModel func() ml.Regressor
+	banks    map[int]*ml.MultiOutput
+}
+
+// NewHierPredictor returns a HierPredictor (nil factory selects GPR).
+func NewHierPredictor(factory func() ml.Regressor) *HierPredictor {
+	if factory == nil {
+		factory = func() ml.Regressor { return &ml.GPR{} }
+	}
+	return &HierPredictor{NewModel: factory, banks: make(map[int]*ml.MultiOutput)}
+}
+
+// Train fits banks for every target depth 3..cfg.MaxDepth.
+func (p *HierPredictor) Train(data *Data, trainIDs []int) error {
+	maxDepth := data.Config.MaxDepth
+	if maxDepth < 3 {
+		return fmt.Errorf("core: dataset max depth %d < 3 cannot train a hierarchical predictor", maxDepth)
+	}
+	for depth := 3; depth <= maxDepth; depth++ {
+		var x [][]float64
+		var y [][]float64
+		for _, g := range trainIDs {
+			p1 := data.Record(g, 1).Params
+			p2 := data.Record(g, 2).Params
+			x = append(x, HierFeaturesFromParams(p1, p2, depth).Vector())
+			y = append(y, data.Record(g, depth).Params.Vector())
+		}
+		bank := ml.NewMultiOutput(p.NewModel)
+		if err := bank.Fit(x, y); err != nil {
+			return fmt.Errorf("core: training hierarchical depth-%d bank: %w", depth, err)
+		}
+		p.banks[depth] = bank
+	}
+	return nil
+}
+
+// Predict returns the predicted parameters for the hierarchical
+// features, clipped into the domain.
+func (p *HierPredictor) Predict(f HierFeatures) (qaoa.Params, error) {
+	bank, ok := p.banks[f.TargetDepth]
+	if !ok {
+		return qaoa.Params{}, fmt.Errorf("core: no hierarchical bank for target depth %d", f.TargetDepth)
+	}
+	return clipParams(qaoa.FromVector(bank.Predict(f.Vector()))), nil
+}

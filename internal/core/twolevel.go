@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qaoaml/internal/optimize"
+	"qaoaml/internal/qaoa"
+)
+
+// RunResult is the outcome of one QAOA optimization run (one random or
+// predicted initialization followed to convergence).
+type RunResult struct {
+	Params qaoa.Params
+	AR     float64
+	NFev   int // QC calls for this run
+}
+
+// NaiveRun solves the depth-pt instance from one random initialization
+// (the paper's baseline QCR flow, Fig. 1(a)).
+func NaiveRun(pb *qaoa.Problem, pt int, opt optimize.Optimizer, rng *rand.Rand) RunResult {
+	ev := qaoa.NewEvaluator(pb, pt)
+	bounds := ParamBounds(pt)
+	r := opt.Minimize(ev.NegExpectation, bounds.Random(rng), bounds)
+	// Canonical form keeps downstream feature extraction consistent
+	// with the (canonicalized) training dataset.
+	params := pb.Canonicalize(qaoa.FromVector(r.X))
+	return RunResult{Params: params, AR: pb.ApproximationRatio(params), NFev: r.NFev}
+}
+
+// TwoLevelResult is the outcome of the paper's Fig. 4 flow: the depth-1
+// optimization cost plus the ML-initialized target-depth cost.
+type TwoLevelResult struct {
+	Level1    RunResult   // depth-1 optimization from a random start
+	Predicted qaoa.Params // ML-predicted target-depth initialization
+	Level2    RunResult   // target-depth optimization from Predicted
+	TotalNFev int         // Level1.NFev + Level2.NFev (the paper's FC)
+}
+
+// AR returns the final approximation ratio (of the level-2 solution).
+func (t TwoLevelResult) AR() float64 { return t.Level2.AR }
+
+// TwoLevel runs the two-level flow of Fig. 4 on one problem:
+//
+//	level 1: optimize the p = 1 instance from a random initialization;
+//	level 2: predict the 2·pt target-depth parameters from
+//	         (γ1OPT(p=1), β1OPT(p=1), pt) and finish with the local
+//	         optimizer from that initialization.
+//
+// The returned TotalNFev counts both levels, as the paper does.
+func TwoLevel(pb *qaoa.Problem, pt int, opt optimize.Optimizer, pred *Predictor, rng *rand.Rand) (TwoLevelResult, error) {
+	if pt < 2 {
+		return TwoLevelResult{}, fmt.Errorf("core: two-level target depth %d < 2", pt)
+	}
+	level1 := NaiveRun(pb, 1, opt, rng)
+	feat := FeaturesFromParams(level1.Params, pt)
+	init, err := pred.Predict(feat)
+	if err != nil {
+		return TwoLevelResult{}, err
+	}
+	ev := qaoa.NewEvaluator(pb, pt)
+	bounds := ParamBounds(pt)
+	r := opt.Minimize(ev.NegExpectation, init.Vector(), bounds)
+	params := pb.Canonicalize(qaoa.FromVector(r.X))
+	level2 := RunResult{Params: params, AR: pb.ApproximationRatio(params), NFev: r.NFev}
+	return TwoLevelResult{
+		Level1:    level1,
+		Predicted: init,
+		Level2:    level2,
+		TotalNFev: level1.NFev + level2.NFev,
+	}, nil
+}
+
+// HierarchicalResult is the outcome of the hierarchical flow: depth-1,
+// then an ML-initialized depth-2 refinement, then the ML-initialized
+// target depth using both optima as features.
+type HierarchicalResult struct {
+	Level1    RunResult
+	Level2    RunResult   // depth-2 refinement (ML-initialized)
+	Predicted qaoa.Params // target-depth initialization
+	Level3    RunResult   // target-depth optimization
+	TotalNFev int
+}
+
+// AR returns the final approximation ratio.
+func (h HierarchicalResult) AR() float64 { return h.Level3.AR }
+
+// Hierarchical runs the Sec. I(d) hierarchical variant for pt ≥ 3:
+// the intermediate depth-2 instance is itself ML-initialized (via the
+// two-level predictor), and its optimum joins the depth-1 optimum as
+// features for the hierarchical predictor of the target depth.
+func Hierarchical(pb *qaoa.Problem, pt int, opt optimize.Optimizer, pred *Predictor, hpred *HierPredictor, rng *rand.Rand) (HierarchicalResult, error) {
+	if pt < 3 {
+		return HierarchicalResult{}, fmt.Errorf("core: hierarchical target depth %d < 3", pt)
+	}
+	level1 := NaiveRun(pb, 1, opt, rng)
+
+	// Intermediate stage: depth 2 with two-level initialization.
+	init2, err := pred.Predict(FeaturesFromParams(level1.Params, 2))
+	if err != nil {
+		return HierarchicalResult{}, err
+	}
+	ev2 := qaoa.NewEvaluator(pb, 2)
+	r2 := opt.Minimize(ev2.NegExpectation, init2.Vector(), ParamBounds(2))
+	p2 := pb.Canonicalize(qaoa.FromVector(r2.X))
+	level2 := RunResult{Params: p2, AR: pb.ApproximationRatio(p2), NFev: r2.NFev}
+
+	// Target stage with hierarchical features.
+	initT, err := hpred.Predict(HierFeaturesFromParams(level1.Params, p2, pt))
+	if err != nil {
+		return HierarchicalResult{}, err
+	}
+	evT := qaoa.NewEvaluator(pb, pt)
+	rT := opt.Minimize(evT.NegExpectation, initT.Vector(), ParamBounds(pt))
+	pT := pb.Canonicalize(qaoa.FromVector(rT.X))
+	level3 := RunResult{Params: pT, AR: pb.ApproximationRatio(pT), NFev: rT.NFev}
+
+	return HierarchicalResult{
+		Level1:    level1,
+		Level2:    level2,
+		Predicted: initT,
+		Level3:    level3,
+		TotalNFev: level1.NFev + level2.NFev + level3.NFev,
+	}, nil
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"qaoaml/internal/stats"
+)
+
+// StageCorrelation holds the Pearson correlations of one response
+// variable (γiOPT or βiOPT at stage i, pooled over all dataset depths
+// d ≥ i) with the three predictors of the two-level approach.
+type StageCorrelation struct {
+	Stage      int
+	WithGamma1 float64 // r(response, γ1OPT(p=1))
+	WithBeta1  float64 // r(response, β1OPT(p=1))
+	WithDepth  float64 // r(response, p)
+}
+
+// Fig5Result reproduces Fig. 5 and the Sec. III-B dataset analysis:
+// the correlation structure between predictors and responses.
+type Fig5Result struct {
+	// RGamma1Beta1 is r(γ1OPT(p=1), β1OPT(p=1)) over graphs (paper: 0.92).
+	RGamma1Beta1 float64
+	Gamma        []StageCorrelation // responses γiOPT
+	Beta         []StageCorrelation // responses βiOPT
+}
+
+// RunFig5 computes the correlation analysis over the full dataset.
+func RunFig5(env *Env) Fig5Result {
+	data := env.Data
+	maxDepth := data.Config.MaxDepth
+	n := len(data.Problems)
+
+	g1 := make([]float64, n)
+	b1 := make([]float64, n)
+	for g := 0; g < n; g++ {
+		p1 := data.Record(g, 1).Params
+		g1[g] = p1.Gamma[0]
+		b1[g] = p1.Beta[0]
+	}
+	res := Fig5Result{RGamma1Beta1: stats.Pearson(g1, b1)}
+
+	// For each stage i, pool the response variable over all depths
+	// d ∈ [max(i,2), maxDepth] and graphs, pairing each sample with its
+	// graph's depth-1 features and its depth d.
+	for i := 1; i <= maxDepth; i++ {
+		var respG, respB, featG, featB, depths []float64
+		for d := max(i, 2); d <= maxDepth; d++ {
+			for g := 0; g < n; g++ {
+				params := data.Record(g, d).Params
+				respG = append(respG, params.Gamma[i-1])
+				respB = append(respB, params.Beta[i-1])
+				featG = append(featG, g1[g])
+				featB = append(featB, b1[g])
+				depths = append(depths, float64(d))
+			}
+		}
+		if len(respG) == 0 {
+			continue
+		}
+		res.Gamma = append(res.Gamma, StageCorrelation{
+			Stage:      i,
+			WithGamma1: stats.Pearson(respG, featG),
+			WithBeta1:  stats.Pearson(respG, featB),
+			WithDepth:  stats.Pearson(respG, depths),
+		})
+		res.Beta = append(res.Beta, StageCorrelation{
+			Stage:      i,
+			WithGamma1: stats.Pearson(respB, featG),
+			WithBeta1:  stats.Pearson(respB, featB),
+			WithDepth:  stats.Pearson(respB, depths),
+		})
+	}
+	return res
+}
+
+// String renders the correlation tables.
+func (f Fig5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 5 / Sec. III-B: predictor-response correlations\n")
+	fmt.Fprintf(&b, "r(γ1OPT(p=1), β1OPT(p=1)) = %.3f (paper: 0.92)\n", f.RGamma1Beta1)
+	render := func(name string, rows []StageCorrelation) {
+		fmt.Fprintf(&b, "responses %siOPT:\n", name)
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{
+				fmt.Sprintf("%d", r.Stage),
+				fmtCorr(r.WithGamma1),
+				fmtCorr(r.WithBeta1),
+				fmtCorr(r.WithDepth),
+			})
+		}
+		b.WriteString(renderTable([]string{"i", "r(·, γ1(p=1))", "r(·, β1(p=1))", "r(·, p)"}, cells))
+	}
+	render("γ", f.Gamma)
+	render("β", f.Beta)
+	return b.String()
+}
+
+// fmtCorr renders a correlation, marking undefined values (single-depth
+// pools have a constant p predictor).
+func fmtCorr(r float64) string {
+	if math.IsNaN(r) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.3f", r)
+}

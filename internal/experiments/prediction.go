@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"qaoaml/internal/core"
+	"qaoaml/internal/ml"
+	"qaoaml/internal/stats"
+)
+
+// Fig6Point is the prediction-error distribution for one target depth.
+type Fig6Point struct {
+	Depth   int
+	MeanPct float64 // mean absolute percentage error (paper: 5.7 at p=2 .. 10.2 at p=5)
+	SDPct   float64
+	N       int // number of (graph, parameter) pairs
+}
+
+// Fig6Result reproduces Fig. 6: prediction errors of the trained GPR
+// predictor on the test graphs, per target depth.
+type Fig6Result struct {
+	Points []Fig6Point
+}
+
+// RunFig6 evaluates prediction error on the test split: for each test
+// graph the true depth-1 optimum feeds the predictor, and predictions
+// are compared against the dataset's optimal parameters at the target
+// depth.
+func RunFig6(env *Env) Fig6Result {
+	var res Fig6Result
+	for pt := 2; pt <= env.Scale.MaxTarget; pt++ {
+		var actual, predicted []float64
+		for _, g := range env.testSubset() {
+			p1 := env.Data.Record(g, 1).Params
+			pred, err := env.Predictor.Predict(core.FeaturesFromParams(p1, pt))
+			if err != nil {
+				panic(fmt.Sprintf("experiments: prediction failed: %v", err))
+			}
+			actual = append(actual, env.Data.Record(g, pt).Params.Vector()...)
+			predicted = append(predicted, pred.Vector()...)
+		}
+		mean, sd := stats.MeanAbsPercentError(actual, predicted)
+		res.Points = append(res.Points, Fig6Point{Depth: pt, MeanPct: mean, SDPct: sd, N: len(actual)})
+	}
+	return res
+}
+
+// String renders the error distributions.
+func (f Fig6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 6: GPR prediction errors on the test set (abs % error)\n")
+	var rows [][]string
+	paper := map[int]string{2: "5.7", 3: "8.1", 4: "9.4", 5: "10.2"}
+	for _, p := range f.Points {
+		ref := paper[p.Depth]
+		if ref == "" {
+			ref = "-"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Depth),
+			fmt.Sprintf("%.1f", p.MeanPct),
+			fmt.Sprintf("%.1f", p.SDPct),
+			fmt.Sprintf("%d", p.N),
+			ref,
+		})
+	}
+	b.WriteString(renderTable([]string{"p", "mean %err", "SD", "n", "paper mean"}, rows))
+	return b.String()
+}
+
+// ModelScore is one model family's pooled test metrics.
+type ModelScore struct {
+	Name    string
+	Metrics ml.Metrics
+}
+
+// ModelComparisonResult reproduces the Sec. III-C analysis: the four
+// regression families ranked on test-set metrics. The paper finds GPR
+// best on every measure.
+type ModelComparisonResult struct {
+	Scores []ModelScore // sorted best first
+}
+
+// RunModelComparison trains each model family as the predictor and
+// pools its test-set predictions over all target depths and parameters.
+func RunModelComparison(env *Env) (ModelComparisonResult, error) {
+	var res ModelComparisonResult
+	for name, factory := range ModelFactories() {
+		pred := core.NewPredictor(factory)
+		if err := pred.Train(env.Data, env.TrainIDs); err != nil {
+			return res, fmt.Errorf("experiments: training %s: %w", name, err)
+		}
+		var actual, predicted []float64
+		for pt := 2; pt <= env.Scale.MaxTarget; pt++ {
+			for _, g := range env.testSubset() {
+				p1 := env.Data.Record(g, 1).Params
+				pp, err := pred.Predict(core.FeaturesFromParams(p1, pt))
+				if err != nil {
+					return res, err
+				}
+				actual = append(actual, env.Data.Record(g, pt).Params.Vector()...)
+				predicted = append(predicted, pp.Vector()...)
+			}
+		}
+		res.Scores = append(res.Scores, ModelScore{
+			Name:    name,
+			Metrics: ml.Evaluate(actual, predicted, 3),
+		})
+	}
+	// Sort best first by the paper's ranking rule.
+	for i := 0; i < len(res.Scores); i++ {
+		for j := i + 1; j < len(res.Scores); j++ {
+			if res.Scores[j].Metrics.Better(res.Scores[i].Metrics) {
+				res.Scores[i], res.Scores[j] = res.Scores[j], res.Scores[i]
+			}
+		}
+	}
+	return res, nil
+}
+
+// Best returns the winning model family name.
+func (m ModelComparisonResult) Best() string {
+	if len(m.Scores) == 0 {
+		return ""
+	}
+	return m.Scores[0].Name
+}
+
+// String renders the ranking.
+func (m ModelComparisonResult) String() string {
+	var b strings.Builder
+	b.WriteString("Sec. III-C: regression model comparison on the test set (best first)\n")
+	var rows [][]string
+	for _, s := range m.Scores {
+		rows = append(rows, []string{
+			s.Name,
+			fmt.Sprintf("%.5g", s.Metrics.MSE),
+			fmt.Sprintf("%.5g", s.Metrics.RMSE),
+			fmt.Sprintf("%.5g", s.Metrics.MAE),
+			fmt.Sprintf("%.4f", s.Metrics.R2),
+			fmt.Sprintf("%.4f", s.Metrics.R2Adj),
+		})
+	}
+	b.WriteString(renderTable([]string{"model", "MSE", "RMSE", "MAE", "R2", "R2adj"}, rows))
+	return b.String()
+}

@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ErdosRenyi samples G(n, p): each of the n·(n-1)/2 possible edges is
+// present independently with probability p. The paper draws its 330
+// problem graphs from this ensemble with n = 8 and p = 0.5.
+func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: edge probability %v out of [0,1]", p))
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				mustAdd(g, u, v)
+			}
+		}
+	}
+	return g
+}
+
+// ErdosRenyiConnected samples G(n, p) conditioned on connectivity and at
+// least one edge, by rejection. QAOA approximation ratios are undefined
+// on empty graphs, and the paper's ensemble is effectively connected at
+// n = 8, p = 0.5.
+func ErdosRenyiConnected(n int, p float64, rng *rand.Rand) *Graph {
+	for {
+		g := ErdosRenyi(n, p, rng)
+		if g.NumEdges() > 0 && g.Connected() {
+			return g
+		}
+	}
+}
+
+// RandomRegular samples a uniform(ish) random k-regular graph on n
+// vertices using the pairing/configuration model with restarts on
+// collisions (self-loops or duplicate edges). It panics if n·k is odd or
+// k ≥ n, which admit no simple k-regular graph.
+func RandomRegular(n, k int, rng *rand.Rand) *Graph {
+	if k < 0 || k >= n || n*k%2 != 0 {
+		panic(fmt.Sprintf("graph: no simple %d-regular graph on %d vertices", k, n))
+	}
+	if k == 0 {
+		return New(n)
+	}
+	for {
+		if g, ok := tryPairing(n, k, rng); ok {
+			return g
+		}
+	}
+}
+
+// tryPairing runs one round of the configuration model: n·k stubs are
+// shuffled and paired; the attempt fails if any pair would create a
+// self-loop or duplicate edge.
+func tryPairing(n, k int, rng *rand.Rand) (*Graph, bool) {
+	stubs := make([]int, 0, n*k)
+	for v := 0; v < n; v++ {
+		for i := 0; i < k; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	g := New(n)
+	for i := 0; i < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v || g.HasEdge(u, v) {
+			return nil, false
+		}
+		mustAdd(g, u, v)
+	}
+	return g, true
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			mustAdd(g, u, v)
+		}
+	}
+	return g
+}
+
+// Cycle returns the cycle graph C_n (n ≥ 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: cycle needs n >= 3")
+	}
+	g := New(n)
+	for v := 0; v < n; v++ {
+		mustAdd(g, v, (v+1)%n)
+	}
+	return g
+}
+
+// Path returns the path graph P_n.
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		mustAdd(g, v, v+1)
+	}
+	return g
+}
+
+func mustAdd(g *Graph, u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic("graph: generator produced invalid edge: " + err.Error())
+	}
+}
+
+// Star returns the star graph S_n: vertex 0 joined to 1..n-1.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic("graph: star needs n >= 2")
+	}
+	g := New(n)
+	for v := 1; v < n; v++ {
+		mustAdd(g, 0, v)
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *Graph {
+	if a < 1 || b < 1 {
+		panic("graph: complete bipartite needs a, b >= 1")
+	}
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			mustAdd(g, u, v)
+		}
+	}
+	return g
+}
+
+// Grid2D returns the rows×cols grid graph, vertices numbered row-major.
+func Grid2D(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic("graph: grid needs rows, cols >= 1")
+	}
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustAdd(g, id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				mustAdd(g, id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Barbell returns two K_m cliques joined by a single bridge edge
+// (vertices 0..m-1 and m..2m-1, bridge (m-1, m)).
+func Barbell(m int) *Graph {
+	if m < 2 {
+		panic("graph: barbell needs m >= 2")
+	}
+	g := New(2 * m)
+	for u := 0; u < m; u++ {
+		for v := u + 1; v < m; v++ {
+			mustAdd(g, u, v)
+			mustAdd(g, m+u, m+v)
+		}
+	}
+	mustAdd(g, m-1, m)
+	return g
+}

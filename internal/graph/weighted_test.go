@@ -1,0 +1,321 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddWeightedEdge(t *testing.T) {
+	g := New(3)
+	if err := g.AddWeightedEdge(0, 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Error("graph with weight 2.5 not reported weighted")
+	}
+	if g.IntegerWeighted() {
+		t.Error("2.5 reported as integer weight")
+	}
+	if got := g.Weights(); len(got) != 1 || got[0] != 2.5 {
+		t.Errorf("Weights = %v", got)
+	}
+	if got := g.TotalWeight(); got != 2.5 {
+		t.Errorf("TotalWeight = %v", got)
+	}
+}
+
+func TestAddWeightedEdgeRejectsBadWeights(t *testing.T) {
+	g := New(3)
+	for _, w := range []float64{0, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := g.AddWeightedEdge(0, 1, w); err == nil {
+			t.Errorf("weight %v accepted", w)
+		}
+	}
+}
+
+func TestUnweightedDefaults(t *testing.T) {
+	g := Path(3)
+	if g.Weighted() {
+		t.Error("unit-weight graph reported weighted")
+	}
+	if !g.IntegerWeighted() {
+		t.Error("unit weights not integer")
+	}
+	if g.TotalWeight() != 2 {
+		t.Errorf("TotalWeight = %v, want 2", g.TotalWeight())
+	}
+}
+
+func TestWeightedCutValueMatchesUnweightedOnUnitWeights(t *testing.T) {
+	f := func(seed int64, a uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := ErdosRenyi(8, 0.5, rng)
+		return g.WeightedCutValue(uint64(a)) == float64(g.CutValue(uint64(a)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedMaxCutKnown(t *testing.T) {
+	// Triangle with one heavy edge: optimum cuts the heavy edge plus one
+	// light edge.
+	g := New(3)
+	mustAddW(t, g, 0, 1, 10)
+	mustAddW(t, g, 1, 2, 1)
+	mustAddW(t, g, 0, 2, 1)
+	v, assign := g.WeightedMaxCut()
+	if v != 11 {
+		t.Errorf("weighted MaxCut = %v, want 11", v)
+	}
+	if got := g.WeightedCutValue(assign); got != v {
+		t.Errorf("assignment achieves %v, reported %v", got, v)
+	}
+}
+
+func TestWeightedMaxCutNegativeWeights(t *testing.T) {
+	// A negative edge should stay uncut at the optimum.
+	g := New(3)
+	mustAddW(t, g, 0, 1, 5)
+	mustAddW(t, g, 1, 2, -3)
+	v, assign := g.WeightedMaxCut()
+	if v != 5 {
+		t.Errorf("weighted MaxCut = %v, want 5", v)
+	}
+	if (assign>>1)&1 != (assign>>2)&1 {
+		t.Error("negative edge cut at optimum")
+	}
+}
+
+func TestWeightedCutTable(t *testing.T) {
+	g := New(2)
+	mustAddW(t, g, 0, 1, 3.5)
+	table := g.WeightedCutTable()
+	want := []float64{0, 3.5, 3.5, 0}
+	for i := range want {
+		if table[i] != want[i] {
+			t.Errorf("table = %v, want %v", table, want)
+			break
+		}
+	}
+}
+
+func TestWeightedCloneAndString(t *testing.T) {
+	g := New(2)
+	mustAddW(t, g, 0, 1, 2)
+	c := g.Clone()
+	if !c.Weighted() || c.TotalWeight() != 2 {
+		t.Error("Clone dropped weights")
+	}
+	if s := g.String(); !strings.Contains(s, "(0,1):2") {
+		t.Errorf("String = %q", s)
+	}
+	if s := Path(2).String(); strings.Contains(s, ":1") {
+		t.Errorf("unit-weight String shows weights: %q", s)
+	}
+}
+
+// Property: complement invariance holds for weighted cuts too.
+func TestWeightedCutComplementInvariance(t *testing.T) {
+	f := func(seed int64, a uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(8)
+		for u := 0; u < 8; u++ {
+			for v := u + 1; v < 8; v++ {
+				if rng.Float64() < 0.4 {
+					if err := g.AddWeightedEdge(u, v, rng.NormFloat64()+2); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		assign := uint64(a)
+		comp := ^assign & 0xFF
+		return math.Abs(g.WeightedCutValue(assign)-g.WeightedCutValue(comp)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustAddW(t *testing.T, g *Graph, u, v int, w float64) {
+	t.Helper()
+	if err := g.AddWeightedEdge(u, v, w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(5)
+	if g.NumEdges() != 4 || g.Degree(0) != 4 {
+		t.Errorf("star: m=%d deg0=%d", g.NumEdges(), g.Degree(0))
+	}
+	// Star is bipartite: MaxCut cuts every edge.
+	if got := g.MaxCut().Value; got != 4 {
+		t.Errorf("star MaxCut = %d, want 4", got)
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	if g.N != 7 || g.NumEdges() != 12 {
+		t.Fatalf("K(3,4): n=%d m=%d", g.N, g.NumEdges())
+	}
+	if got := g.MaxCut().Value; got != 12 {
+		t.Errorf("K(3,4) MaxCut = %d, want 12 (bipartite)", got)
+	}
+	if g.Triangles() != 0 {
+		t.Error("bipartite graph has triangles")
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(3, 4)
+	if g.N != 12 {
+		t.Fatalf("grid n = %d", g.N)
+	}
+	// Edges: 3 rows × 3 horizontal + 2 × 4 vertical = 9 + 8 = 17.
+	if g.NumEdges() != 17 {
+		t.Errorf("grid m = %d, want 17", g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Error("grid not connected")
+	}
+	// Grids are bipartite.
+	if got := g.MaxCut().Value; got != 17 {
+		t.Errorf("grid MaxCut = %d, want 17", got)
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(4)
+	if g.N != 8 {
+		t.Fatalf("barbell n = %d", g.N)
+	}
+	// Two K4 (6 edges each) + bridge.
+	if g.NumEdges() != 13 {
+		t.Errorf("barbell m = %d, want 13", g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Error("barbell not connected")
+	}
+	// Each K4 contributes C(4,3) = 4 triangles.
+	if got := g.Triangles(); got != 8 {
+		t.Errorf("barbell triangles = %d, want 8", got)
+	}
+}
+
+func TestTriangles(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{Cycle(3), 1},
+		{Cycle(5), 0},
+		{Complete(4), 4},
+		{Complete(5), 10},
+		{Path(4), 0},
+		{Star(6), 0},
+	}
+	for i, c := range cases {
+		if got := c.g.Triangles(); got != c.want {
+			t.Errorf("case %d: triangles = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Star(1) },
+		func() { CompleteBipartite(0, 3) },
+		func() { Grid2D(0, 2) },
+		func() { Barbell(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAdjacencyAndLaplacian(t *testing.T) {
+	g := Path(3) // 0-1-2
+	a := g.AdjacencyMatrix()
+	if a.At(0, 1) != 1 || a.At(1, 0) != 1 || a.At(0, 2) != 0 {
+		t.Errorf("adjacency:\n%v", a)
+	}
+	l := g.LaplacianMatrix()
+	// Row sums of a Laplacian are zero.
+	for i := 0; i < 3; i++ {
+		s := 0.0
+		for j := 0; j < 3; j++ {
+			s += l.At(i, j)
+		}
+		if math.Abs(s) > 1e-12 {
+			t.Errorf("Laplacian row %d sums to %v", i, s)
+		}
+	}
+	if l.At(1, 1) != 2 || l.At(0, 0) != 1 {
+		t.Errorf("Laplacian degrees wrong:\n%v", l)
+	}
+}
+
+func TestAlgebraicConnectivity(t *testing.T) {
+	// Connected graph: Fiedler value > 0. Known: λ2(K_n) = n.
+	kn := Complete(5)
+	got, err := kn.AlgebraicConnectivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-5) > 1e-8 {
+		t.Errorf("λ2(K5) = %v, want 5", got)
+	}
+	// Known: λ2(P2) = 2 (Laplacian [[1,-1],[-1,1]]).
+	p2 := Path(2)
+	got, err = p2.AlgebraicConnectivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-8 {
+		t.Errorf("λ2(P2) = %v, want 2", got)
+	}
+	// Disconnected graph: Fiedler value 0.
+	disc := New(4)
+	mustAddW(t, disc, 0, 1, 1)
+	mustAddW(t, disc, 2, 3, 1)
+	got, err = disc.AlgebraicConnectivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got) > 1e-8 {
+		t.Errorf("λ2 of disconnected graph = %v, want 0", got)
+	}
+	if _, err := New(1).AlgebraicConnectivity(); err == nil {
+		t.Error("single-vertex graph accepted")
+	}
+}
+
+// Fiedler value sign matches Connected() across random graphs.
+func TestFiedlerMatchesConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for trial := 0; trial < 30; trial++ {
+		g := ErdosRenyi(7, 0.25, rng)
+		if g.NumEdges() == 0 {
+			continue
+		}
+		lam2, err := g.AlgebraicConnectivity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Connected() != (lam2 > 1e-8) {
+			t.Fatalf("trial %d: Connected=%v but λ2=%v", trial, g.Connected(), lam2)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSPD returns a random symmetric positive-definite matrix.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	a := randomMatrix(rng, n, n)
+	spd := a.Mul(a.T())
+	spd.AddToDiag(float64(n)) // safely away from singular
+	return spd
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 1; n <= 8; n++ {
+		a := randomSPD(rng, n)
+		ch, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !ch.L.Mul(ch.L.T()).Equal(a, 1e-9) {
+			t.Errorf("n=%d: L·Lᵀ != A", n)
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomSPD(rng, 6)
+	x := randomVector(rng, 6)
+	b := a.MulVec(x)
+	ch, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ch.Solve(b); !got.Equal(x, 1e-8) {
+		t.Errorf("Solve = %v, want %v", got, x)
+	}
+}
+
+func TestCholeskySolveMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomSPD(rng, 4)
+	xm := randomMatrix(rng, 4, 3)
+	bm := a.Mul(xm)
+	ch, _ := Cholesky(a)
+	if got := ch.SolveMatrix(bm); !got.Equal(xm, 1e-8) {
+		t.Error("SolveMatrix mismatch")
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err != ErrNotPositiveDefinite {
+		t.Errorf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestCholeskyLogDet(t *testing.T) {
+	a := FromRows([][]float64{{4, 0}, {0, 9}})
+	ch, _ := Cholesky(a)
+	if got, want := ch.LogDet(), math.Log(36); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogDet = %v, want %v", got, want)
+	}
+}
+
+func TestLUSolveAndDet(t *testing.T) {
+	a := FromRows([][]float64{{2, 1, 1}, {4, -6, 0}, {-2, 7, 2}})
+	lu, err := LU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := lu.Solve(Vector{5, -2, 9})
+	if got := a.MulVec(x); !got.Equal(Vector{5, -2, 9}, 1e-10) {
+		t.Errorf("LU solve residual: A·x = %v", got)
+	}
+	// det by cofactor: 2(-12-0) -1(8-0) +1(28-12) = -24-8+16 = -16
+	if got := lu.Det(); math.Abs(got-(-16)) > 1e-10 {
+		t.Errorf("Det = %v, want -16", got)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := LU(a); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestQROrthonormalAndReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomMatrix(rng, 7, 4)
+	qr, err := QR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Q.T().Mul(qr.Q).Equal(Identity(4), 1e-9) {
+		t.Error("QᵀQ != I")
+	}
+	if !qr.Q.Mul(qr.R).Equal(a, 1e-9) {
+		t.Error("Q·R != A")
+	}
+	// R upper triangular.
+	for i := 1; i < 4; i++ {
+		for j := 0; j < i; j++ {
+			if qr.R.At(i, j) != 0 {
+				t.Errorf("R[%d][%d] = %v, want 0", i, j, qr.R.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQRRejectsWide(t *testing.T) {
+	if _, err := QR(NewMatrix(2, 3)); err == nil {
+		t.Error("expected error for wide matrix")
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined consistent system: fit y = 2x + 1 exactly.
+	a := FromRows([][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}})
+	b := Vector{1, 3, 5, 7}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(Vector{1, 2}, 1e-10) {
+		t.Errorf("LeastSquares = %v, want [1 2]", x)
+	}
+}
+
+func TestLeastSquaresResidualOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomMatrix(rng, 10, 3)
+	b := randomVector(rng, 10)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := b.Sub(a.MulVec(x))
+	// Normal equations: Aᵀr = 0.
+	if got := a.MulVecT(r); got.NormInf() > 1e-9 {
+		t.Errorf("Aᵀr = %v, want ~0", got)
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := LeastSquares(a, Vector{1, 2, 3}); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveAndSolveSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomSPD(rng, 5)
+	x := randomVector(rng, 5)
+	b := a.MulVec(x)
+	got, err := Solve(a.Clone(), b)
+	if err != nil || !got.Equal(x, 1e-8) {
+		t.Errorf("Solve = %v (err %v), want %v", got, err, x)
+	}
+	got, err = SolveSPD(a, b)
+	if err != nil || !got.Equal(x, 1e-8) {
+		t.Errorf("SolveSPD = %v (err %v), want %v", got, err, x)
+	}
+}
+
+// Property: for random SPD systems, the Cholesky solution satisfies
+// the original system to high relative accuracy.
+func TestCholeskySolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := randomSPD(rng, n)
+		b := randomVector(rng, n)
+		ch, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		x := ch.Solve(b)
+		res := a.MulVec(x).Sub(b)
+		return res.NormInf() <= 1e-8*(1+b.NormInf())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangular solves invert triangular multiplies.
+func TestTriangularSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		l := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				l.Set(i, j, rng.NormFloat64())
+			}
+			l.Set(i, i, 1+rng.Float64()) // well away from zero
+		}
+		x := randomVector(rng, n)
+		if !SolveLowerTriangular(l, l.MulVec(x)).Equal(x, 1e-8) {
+			return false
+		}
+		u := l.T()
+		return SolveUpperTriangular(u, u.MulVec(x)).Equal(x, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

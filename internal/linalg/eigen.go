@@ -1,0 +1,92 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the full eigendecomposition of a symmetric matrix
+// with the cyclic Jacobi method: A = V·diag(λ)·Vᵀ with eigenvalues
+// ascending and V's columns the corresponding orthonormal eigenvectors.
+// It returns an error if A is not symmetric (within a small tolerance)
+// or the sweep limit is exceeded (pathological input).
+func EigenSym(a *Matrix) (eigenvalues Vector, v *Matrix, err error) {
+	a.checkSquare()
+	if !a.IsSymmetric(1e-10 * (1 + a.MaxAbs())) {
+		return nil, nil, fmt.Errorf("linalg: EigenSym requires a symmetric matrix")
+	}
+	n := a.Rows
+	w := a.Clone()
+	v = Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if math.Sqrt(2*off) <= 1e-12*(1+w.MaxAbs()) {
+			return sortedEigen(w, v)
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= 1e-14*(1+w.MaxAbs()) {
+					continue
+				}
+				// Jacobi rotation annihilating w[p][q].
+				theta := (w.At(q, q) - w.At(p, p)) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+	return nil, nil, fmt.Errorf("linalg: Jacobi failed to converge in %d sweeps", 100)
+}
+
+// rotate applies the Jacobi rotation J(p,q,θ) as W ← JᵀWJ and V ← VJ.
+func rotate(w, v *Matrix, p, q int, c, s float64) {
+	n := w.Rows
+	for k := 0; k < n; k++ {
+		wkp, wkq := w.At(k, p), w.At(k, q)
+		w.Set(k, p, c*wkp-s*wkq)
+		w.Set(k, q, s*wkp+c*wkq)
+	}
+	for k := 0; k < n; k++ {
+		wpk, wqk := w.At(p, k), w.At(q, k)
+		w.Set(p, k, c*wpk-s*wqk)
+		w.Set(q, k, s*wpk+c*wqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+// sortedEigen extracts the diagonal and reorders eigenpairs ascending.
+func sortedEigen(w, v *Matrix) (Vector, *Matrix, error) {
+	n := w.Rows
+	type pair struct {
+		val float64
+		col int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{w.At(i, i), i}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].val < pairs[b].val })
+	vals := make(Vector, n)
+	vecs := NewMatrix(n, n)
+	for i, p := range pairs {
+		vals[i] = p.val
+		for r := 0; r < n; r++ {
+			vecs.Set(r, i, v.At(r, p.col))
+		}
+	}
+	return vals, vecs, nil
+}

@@ -1,0 +1,109 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, -1}})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals.Equal(Vector{-1, 3}, 1e-12) {
+		t.Errorf("eigenvalues = %v", vals)
+	}
+	if !vecs.T().Mul(vecs).Equal(Identity(2), 1e-10) {
+		t.Error("eigenvectors not orthonormal")
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, _, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals.Equal(Vector{1, 3}, 1e-10) {
+		t.Errorf("eigenvalues = %v", vals)
+	}
+}
+
+func TestEigenSymReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(7)
+		a := randomMatrix(rng, n, n)
+		sym := a.Add(a.T()).Scale(0.5)
+		vals, vecs, err := EigenSym(sym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ascending order.
+		for i := 1; i < n; i++ {
+			if vals[i] < vals[i-1]-1e-12 {
+				t.Fatalf("eigenvalues not ascending: %v", vals)
+			}
+		}
+		// A = V Λ Vᵀ.
+		lam := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			lam.Set(i, i, vals[i])
+		}
+		if !vecs.Mul(lam).Mul(vecs.T()).Equal(sym, 1e-8) {
+			t.Fatal("V·Λ·Vᵀ != A")
+		}
+		// Orthonormality.
+		if !vecs.T().Mul(vecs).Equal(Identity(n), 1e-8) {
+			t.Fatal("VᵀV != I")
+		}
+	}
+}
+
+func TestEigenSymRejectsNonSymmetric(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {0, 1}})
+	if _, _, err := EigenSym(a); err == nil {
+		t.Error("nonsymmetric matrix accepted")
+	}
+}
+
+// Property: the trace equals the eigenvalue sum, and residuals
+// ‖A·v − λv‖ vanish for every pair.
+func TestEigenSymProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		a := randomMatrix(rng, n, n)
+		sym := a.Add(a.T()).Scale(0.5)
+		vals, vecs, err := EigenSym(sym)
+		if err != nil {
+			return false
+		}
+		trace := 0.0
+		for i := 0; i < n; i++ {
+			trace += sym.At(i, i)
+		}
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+		}
+		if math.Abs(trace-sum) > 1e-8*(1+math.Abs(trace)) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			v := vecs.Col(i)
+			r := sym.MulVec(v).Sub(v.Scale(vals[i]))
+			if r.NormInf() > 1e-8*(1+math.Abs(vals[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

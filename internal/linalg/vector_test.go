@@ -1,0 +1,116 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorAddSub(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Add(w); !got.Equal(Vector{5, 7, 9}, 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := w.Sub(v); !got.Equal(Vector{3, 3, 3}, 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	// Originals unchanged.
+	if !v.Equal(Vector{1, 2, 3}, 0) {
+		t.Errorf("Add mutated receiver: %v", v)
+	}
+}
+
+func TestVectorScaleDotNorm(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Scale(2); !got.Equal(Vector{6, 8}, 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(Vector{1, 1}); got != 7 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Norm(); math.Abs(got-5) > 1e-15 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := (Vector{-3, 2}).NormInf(); got != 3 {
+		t.Errorf("NormInf = %v", got)
+	}
+}
+
+func TestVectorAddScaled(t *testing.T) {
+	v := Vector{1, 1}
+	v.AddScaled(3, Vector{2, -1})
+	if !v.Equal(Vector{7, -2}, 0) {
+		t.Errorf("AddScaled = %v", v)
+	}
+}
+
+func TestVectorMinMax(t *testing.T) {
+	v := Vector{2, -7, 5, 0}
+	if v.Min() != -7 || v.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", v.Min(), v.Max())
+	}
+}
+
+func TestVectorMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched lengths")
+		}
+	}()
+	_ = Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1, 2}
+	w := v.Clone()
+	w[0] = 9
+	if v[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+// Property: dot product is symmetric and Cauchy-Schwarz holds.
+func TestVectorDotProperties(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		v, w := clamp(a[:]), clamp(b[:])
+		d1, d2 := v.Dot(w), w.Dot(v)
+		if math.Abs(d1-d2) > 1e-9*(1+math.Abs(d1)) {
+			return false
+		}
+		return math.Abs(d1) <= v.Norm()*w.Norm()*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality for the Euclidean norm.
+func TestVectorTriangleInequality(t *testing.T) {
+	f := func(a, b [6]float64) bool {
+		v, w := clamp(a[:]), clamp(b[:])
+		return v.Add(w).Norm() <= v.Norm()+w.Norm()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clamp replaces NaN/Inf/huge quick-generated values with tame ones so
+// float roundoff bounds in properties stay meaningful.
+func clamp(xs []float64) Vector {
+	v := make(Vector, len(xs))
+	for i, x := range xs {
+		switch {
+		case math.IsNaN(x) || math.IsInf(x, 0):
+			v[i] = 1
+		case x > 1e6:
+			v[i] = 1e6
+		case x < -1e6:
+			v[i] = -1e6
+		default:
+			v[i] = x
+		}
+	}
+	return v
+}

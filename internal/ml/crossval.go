@@ -1,0 +1,66 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CVResult aggregates k-fold cross-validation metrics.
+type CVResult struct {
+	Folds []Metrics
+	// Mean holds the fold-averaged metrics (N is the total sample count).
+	Mean Metrics
+}
+
+// CrossValidate runs k-fold cross-validation of the model family
+// produced by factory on (x, y): the samples are shuffled with rng,
+// split into k folds, and each fold is predicted by a model trained on
+// the remaining k−1. p is the predictor count for adjusted R².
+func CrossValidate(factory func() Regressor, x [][]float64, y []float64, k, p int, rng *rand.Rand) (CVResult, error) {
+	if factory == nil {
+		return CVResult{}, fmt.Errorf("ml: nil model factory")
+	}
+	if _, err := checkTrainingData(x, y); err != nil {
+		return CVResult{}, err
+	}
+	n := len(x)
+	if k < 2 || k > n {
+		return CVResult{}, fmt.Errorf("ml: fold count %d out of [2, %d]", k, n)
+	}
+	perm := rng.Perm(n)
+	var res CVResult
+	var sumMSE, sumRMSE, sumMAE, sumR2, sumR2Adj float64
+	for fold := 0; fold < k; fold++ {
+		lo := fold * n / k
+		hi := (fold + 1) * n / k
+		var trX, teX [][]float64
+		var trY, teY []float64
+		for i, id := range perm {
+			if i >= lo && i < hi {
+				teX = append(teX, x[id])
+				teY = append(teY, y[id])
+			} else {
+				trX = append(trX, x[id])
+				trY = append(trY, y[id])
+			}
+		}
+		model := factory()
+		if err := model.Fit(trX, trY); err != nil {
+			return CVResult{}, fmt.Errorf("ml: fold %d fit: %w", fold, err)
+		}
+		m := Evaluate(teY, PredictBatch(model, teX), p)
+		res.Folds = append(res.Folds, m)
+		sumMSE += m.MSE
+		sumRMSE += m.RMSE
+		sumMAE += m.MAE
+		sumR2 += m.R2
+		sumR2Adj += m.R2Adj
+	}
+	kf := float64(k)
+	res.Mean = Metrics{
+		MSE: sumMSE / kf, RMSE: sumRMSE / kf, MAE: sumMAE / kf,
+		R2: sumR2 / kf, R2Adj: sumR2Adj / kf,
+		N: n, P: p,
+	}
+	return res, nil
+}

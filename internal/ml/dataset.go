@@ -1,0 +1,86 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dataset pairs feature rows with (possibly multi-column) target rows.
+type Dataset struct {
+	X [][]float64
+	Y [][]float64
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Append adds one sample.
+func (d *Dataset) Append(x, y []float64) {
+	d.X = append(d.X, append([]float64(nil), x...))
+	d.Y = append(d.Y, append([]float64(nil), y...))
+}
+
+// Validate checks shape consistency.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("%w: %d feature rows vs %d target rows", ErrBadShape, len(d.X), len(d.Y))
+	}
+	if len(d.X) == 0 {
+		return ErrEmptyTrainingSet
+	}
+	dx, dy := len(d.X[0]), len(d.Y[0])
+	for i := range d.X {
+		if len(d.X[i]) != dx || len(d.Y[i]) != dy {
+			return fmt.Errorf("%w: ragged row %d", ErrBadShape, i)
+		}
+	}
+	return nil
+}
+
+// Split shuffles the sample indices with rng and splits into train and
+// test subsets with the given train fraction (the paper uses 20:80,
+// i.e. trainFrac = 0.2). At least one sample lands on each side when
+// the dataset has two or more samples. It panics for trainFrac outside
+// (0, 1).
+func (d *Dataset) Split(trainFrac float64, rng *rand.Rand) (train, test Dataset) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic(fmt.Sprintf("ml: train fraction %v out of (0,1)", trainFrac))
+	}
+	n := d.Len()
+	idx := rng.Perm(n)
+	nTrain := int(float64(n)*trainFrac + 0.5)
+	if n >= 2 {
+		if nTrain < 1 {
+			nTrain = 1
+		}
+		if nTrain > n-1 {
+			nTrain = n - 1
+		}
+	}
+	for i, id := range idx {
+		if i < nTrain {
+			train.Append(d.X[id], d.Y[id])
+		} else {
+			test.Append(d.X[id], d.Y[id])
+		}
+	}
+	return train, test
+}
+
+// Column extracts target column j.
+func (d *Dataset) Column(j int) []float64 {
+	col := make([]float64, len(d.Y))
+	for i := range d.Y {
+		col[i] = d.Y[i][j]
+	}
+	return col
+}
+
+// FeatureColumn extracts feature column j.
+func (d *Dataset) FeatureColumn(j int) []float64 {
+	col := make([]float64, len(d.X))
+	for i := range d.X {
+		col[i] = d.X[i][j]
+	}
+	return col
+}

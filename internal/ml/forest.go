@@ -1,0 +1,94 @@
+package ml
+
+import (
+	"math/rand"
+)
+
+// Forest is a random-forest regressor: bootstrap-aggregated CART trees
+// with per-tree feature subsampling. It is not one of the paper's four
+// models; it is included as the natural upgrade of RTREE for users who
+// want variance reduction without GPR's cubic cost.
+type Forest struct {
+	Trees       int   // ensemble size (default 50)
+	MaxDepth    int   // per-tree depth cap (default 8)
+	MinLeafSize int   // per-tree leaf size (default 3)
+	Seed        int64 // bootstrap RNG seed (default 1)
+
+	members []*Tree
+	scales  [][]int // feature subset per member (indices into the row)
+	dim     int
+}
+
+// Name implements Regressor.
+func (f *Forest) Name() string { return "FOREST" }
+
+// Fit implements Regressor.
+func (f *Forest) Fit(x [][]float64, y []float64) error {
+	dim, err := checkTrainingData(x, y)
+	if err != nil {
+		return err
+	}
+	trees := f.Trees
+	if trees <= 0 {
+		trees = 50
+	}
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := len(x)
+
+	// Feature subsample size: all features for low-dimensional rows
+	// (dropping any would lose whole interactions), ~2/3 of them for
+	// wider rows (bagging plus decorrelation).
+	k := dim
+	if dim > 3 {
+		k = (2*dim + 2) / 3
+	}
+
+	f.members = make([]*Tree, trees)
+	f.scales = make([][]int, trees)
+	f.dim = dim
+	for m := 0; m < trees; m++ {
+		feats := rng.Perm(dim)[:k]
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			src := rng.Intn(n) // bootstrap sample with replacement
+			row := make([]float64, k)
+			for j, fi := range feats {
+				row[j] = x[src][fi]
+			}
+			bx[i] = row
+			by[i] = y[src]
+		}
+		tree := &Tree{MaxDepth: f.MaxDepth, MinLeafSize: f.MinLeafSize}
+		if err := tree.Fit(bx, by); err != nil {
+			return err
+		}
+		f.members[m] = tree
+		f.scales[m] = feats
+	}
+	return nil
+}
+
+// Predict implements Regressor (ensemble mean).
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.members) == 0 {
+		panic("ml: Forest.Predict before Fit")
+	}
+	if len(x) != f.dim {
+		panic("ml: Forest.Predict feature dim mismatch")
+	}
+	total := 0.0
+	sub := make([]float64, 0, f.dim)
+	for m, tree := range f.members {
+		sub = sub[:0]
+		for _, fi := range f.scales[m] {
+			sub = append(sub, x[fi])
+		}
+		total += tree.Predict(sub)
+	}
+	return total / float64(len(f.members))
+}

@@ -1,0 +1,264 @@
+package ml
+
+import (
+	"math"
+
+	"qaoaml/internal/linalg"
+)
+
+// GPR is Gaussian-process regression with a squared-exponential (RBF)
+// kernel k(a,b) = σ_f²·exp(−‖a−b‖²/(2ℓ²)) plus observation noise σ_n².
+// This is the paper's best-performing predictor model. Features and
+// targets are standardized internally; hyperparameters can be tuned by
+// maximizing the log marginal likelihood over a small grid (the default)
+// or fixed by the caller.
+type GPR struct {
+	LengthScale float64 // ℓ; ≤ 0 selects by marginal likelihood
+	SignalVar   float64 // σ_f²; ≤ 0 selects by marginal likelihood
+	NoiseVar    float64 // σ_n²; ≤ 0 selects by marginal likelihood
+	LinearVar   float64 // σ_l² of an additive dot-product kernel term:
+	// 0 (default) disables it, > 0 fixes it, < 0 selects it by marginal
+	// likelihood. The linear term lets the posterior mean extrapolate
+	// linear trends instead of reverting to the prior mean — better on
+	// in-distribution test points, but brittle under feature shift, so
+	// it is opt-in (see EXPERIMENTS.md on the two-level flow).
+
+	xTrain [][]float64
+	alpha  linalg.Vector
+	chol   *linalg.CholeskyDecomp
+	xScale *Standardizer
+	yMean  float64
+	yStd   float64
+	ell    float64 // chosen length scale (in standardized space)
+	sf2    float64 // chosen signal variance
+	sn2    float64 // chosen noise variance
+	sl2    float64 // chosen linear-kernel variance
+	logML  float64
+	fitted bool
+}
+
+// Name implements Regressor.
+func (g *GPR) Name() string { return "GPR" }
+
+// LogMarginalLikelihood returns the training log marginal likelihood of
+// the selected hyperparameters. It panics before Fit.
+func (g *GPR) LogMarginalLikelihood() float64 {
+	if !g.fitted {
+		panic("ml: GPR.LogMarginalLikelihood before Fit")
+	}
+	return g.logML
+}
+
+// Hyperparameters returns the selected (ℓ, σ_f², σ_n²) in standardized
+// feature/target space. It panics before Fit.
+func (g *GPR) Hyperparameters() (lengthScale, signalVar, noiseVar float64) {
+	if !g.fitted {
+		panic("ml: GPR.Hyperparameters before Fit")
+	}
+	return g.ell, g.sf2, g.sn2
+}
+
+// Fit implements Regressor.
+func (g *GPR) Fit(x [][]float64, y []float64) error {
+	if _, err := checkTrainingData(x, y); err != nil {
+		return err
+	}
+	g.xScale = NewStandardizer(x)
+	xs := g.xScale.TransformAll(x)
+
+	// Standardize targets.
+	g.yMean, g.yStd = meanStd(y)
+	if g.yStd == 0 {
+		g.yStd = 1
+	}
+	ys := make(linalg.Vector, len(y))
+	for i := range y {
+		ys[i] = (y[i] - g.yMean) / g.yStd
+	}
+
+	// Candidate grids (standardized space) unless pinned by the caller.
+	ells := []float64{0.3, 0.5, 1, 2, 4}
+	if g.LengthScale > 0 {
+		ells = []float64{g.LengthScale}
+	}
+	sf2s := []float64{0.5, 1, 2}
+	if g.SignalVar > 0 {
+		sf2s = []float64{g.SignalVar}
+	}
+	sn2s := []float64{1e-4, 1e-3, 1e-2, 1e-1}
+	if g.NoiseVar > 0 {
+		sn2s = []float64{g.NoiseVar}
+	}
+	sl2s := []float64{0} // default: pure RBF
+	switch {
+	case g.LinearVar > 0:
+		sl2s = []float64{g.LinearVar}
+	case g.LinearVar < 0:
+		sl2s = []float64{0, 0.5, 2} // grid-select by marginal likelihood
+	}
+
+	bestML := math.Inf(-1)
+	var bestChol *linalg.CholeskyDecomp
+	var bestAlpha linalg.Vector
+	var bestEll, bestSf2, bestSn2, bestSl2 float64
+	for _, ell := range ells {
+		for _, sf2 := range sf2s {
+			for _, sl2 := range sl2s {
+				k := g.kernelMatrix(xs, ell, sf2, sl2)
+				for _, sn2 := range sn2s {
+					kn := k.Clone().AddToDiag(sn2)
+					ch, err := linalg.Cholesky(kn)
+					if err != nil {
+						continue
+					}
+					alpha := ch.Solve(ys)
+					ml := -0.5*ys.Dot(alpha) - 0.5*ch.LogDet() - float64(len(ys))/2*math.Log(2*math.Pi)
+					if ml > bestML {
+						bestML, bestChol, bestAlpha = ml, ch, alpha
+						bestEll, bestSf2, bestSn2, bestSl2 = ell, sf2, sn2, sl2
+					}
+				}
+			}
+		}
+	}
+	if bestChol == nil {
+		return linalg.ErrNotPositiveDefinite
+	}
+	g.xTrain = xs
+	g.chol = bestChol
+	g.alpha = bestAlpha
+	g.ell, g.sf2, g.sn2, g.sl2 = bestEll, bestSf2, bestSn2, bestSl2
+	g.logML = bestML
+	g.fitted = true
+	return nil
+}
+
+// Predict implements Regressor (posterior mean).
+func (g *GPR) Predict(x []float64) float64 {
+	mean, _ := g.PredictWithVariance(x)
+	return mean
+}
+
+// PredictWithVariance returns the posterior mean and variance at x
+// (variance in original target units squared).
+func (g *GPR) PredictWithVariance(x []float64) (mean, variance float64) {
+	if !g.fitted {
+		panic("ml: GPR.Predict before Fit")
+	}
+	xs := g.xScale.Transform(x)
+	kstar := make(linalg.Vector, len(g.xTrain))
+	for i, xt := range g.xTrain {
+		kstar[i] = kernel(xs, xt, g.ell, g.sf2, g.sl2)
+	}
+	mu := kstar.Dot(g.alpha)
+	v := linalg.SolveLowerTriangular(g.chol.L, kstar)
+	varStd := kernel(xs, xs, g.ell, g.sf2, g.sl2) - v.Dot(v)
+	if varStd < 0 {
+		varStd = 0
+	}
+	return mu*g.yStd + g.yMean, varStd * g.yStd * g.yStd
+}
+
+func (g *GPR) kernelMatrix(xs [][]float64, ell, sf2, sl2 float64) *linalg.Matrix {
+	n := len(xs)
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		k.Set(i, i, kernel(xs[i], xs[i], ell, sf2, sl2))
+		for j := i + 1; j < n; j++ {
+			v := kernel(xs[i], xs[j], ell, sf2, sl2)
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	return k
+}
+
+// kernel is the RBF kernel plus an optional dot-product term.
+func kernel(a, b []float64, ell, sf2, sl2 float64) float64 {
+	v := rbf(a, b, ell, sf2)
+	if sl2 > 0 {
+		dot := 0.0
+		for i := range a {
+			dot += a[i] * b[i]
+		}
+		v += sl2 * dot
+	}
+	return v
+}
+
+// rbf is the squared-exponential kernel.
+func rbf(a, b []float64, ell, sf2 float64) float64 {
+	d2 := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return sf2 * math.Exp(-d2/(2*ell*ell))
+}
+
+// Standardizer centers and scales features to zero mean and unit
+// variance (constant features keep scale 1).
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// NewStandardizer computes per-feature statistics from rows x.
+func NewStandardizer(x [][]float64) *Standardizer {
+	dim := len(x[0])
+	s := &Standardizer{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	for j := 0; j < dim; j++ {
+		col := make([]float64, len(x))
+		for i := range x {
+			col[i] = x[i][j]
+		}
+		m, sd := meanStd(col)
+		if sd == 0 {
+			sd = 1
+		}
+		s.Mean[j], s.Std[j] = m, sd
+	}
+	return s
+}
+
+// Transform returns the standardized copy of one feature vector.
+func (s *Standardizer) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j := range x {
+		out[j] = (x[j] - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// TransformAll standardizes every row.
+func (s *Standardizer) TransformAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = s.Transform(row)
+	}
+	return out
+}
+
+// Inverse undoes Transform for one vector.
+func (s *Standardizer) Inverse(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j := range x {
+		out[j] = x[j]*s.Std[j] + s.Mean[j]
+	}
+	return out
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	for _, v := range xs {
+		d := v - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

@@ -1,0 +1,72 @@
+package ml
+
+import (
+	"qaoaml/internal/linalg"
+)
+
+// Linear is ordinary least-squares linear regression with an intercept,
+// solved by Householder QR (numerically stable vs. normal equations).
+// This is the paper's "LM" model.
+type Linear struct {
+	Coef      []float64 // feature weights, length = feature dim
+	Intercept float64
+	fitted    bool
+}
+
+// Name implements Regressor.
+func (l *Linear) Name() string { return "LM" }
+
+// Fit implements Regressor. Rank-deficient designs (e.g. constant
+// features) fall back to ridge-stabilized normal equations so Fit still
+// returns a usable model.
+func (l *Linear) Fit(x [][]float64, y []float64) error {
+	dim, err := checkTrainingData(x, y)
+	if err != nil {
+		return err
+	}
+	n := len(x)
+	// Design matrix with a leading 1 column for the intercept.
+	a := linalg.NewMatrix(n, dim+1)
+	for i, row := range x {
+		a.Set(i, 0, 1)
+		for j, v := range row {
+			a.Set(i, j+1, v)
+		}
+	}
+	b := make(linalg.Vector, n)
+	copy(b, y)
+
+	var w linalg.Vector
+	if n >= dim+1 {
+		w, err = linalg.LeastSquares(a, b)
+	}
+	if n < dim+1 || err != nil {
+		// Underdetermined or rank-deficient: ridge fallback.
+		at := a.T()
+		gram := at.Mul(a)
+		gram.AddToDiag(1e-8)
+		w, err = linalg.SolveSPD(gram, at.MulVec(b))
+		if err != nil {
+			return err
+		}
+	}
+	l.Intercept = w[0]
+	l.Coef = append([]float64(nil), w[1:]...)
+	l.fitted = true
+	return nil
+}
+
+// Predict implements Regressor.
+func (l *Linear) Predict(x []float64) float64 {
+	if !l.fitted {
+		panic("ml: Linear.Predict before Fit")
+	}
+	if len(x) != len(l.Coef) {
+		panic("ml: Linear.Predict feature dim mismatch")
+	}
+	out := l.Intercept
+	for i, v := range x {
+		out += l.Coef[i] * v
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package optimize
+
+// LBFGSB is a limited-memory BFGS method with gradient projection for
+// box constraints, the same algorithm family as SciPy's L-BFGS-B.
+// Gradients are finite differences, so — as on real quantum hardware —
+// every gradient evaluation spends function calls, which is what the
+// paper counts.
+type LBFGSB struct {
+	Tol     float64  // relative f-change / projected-gradient tolerance (default 1e-6)
+	MaxIter int      // outer iteration cap (default 100·dim)
+	MaxFev  int      // function evaluation cap (default 2000·dim)
+	Memory  int      // number of (s, y) pairs kept (default 10)
+	Scheme  FDScheme // finite-difference scheme (default central)
+	FDStep  float64  // finite-difference step (default 1e-6)
+}
+
+// Name implements Optimizer.
+func (o *LBFGSB) Name() string { return "L-BFGS-B" }
+
+// Minimize implements Optimizer.
+func (o *LBFGSB) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
+	x := prepareStart(x0, bounds)
+	n := len(x)
+	tol := tolOrDefault(o.Tol)
+	maxIter := maxIterOrDefault(o.MaxIter, 100*n)
+	maxFev := maxIterOrDefault(o.MaxFev, 2000*n)
+	mem := o.Memory
+	if mem <= 0 {
+		mem = 10
+	}
+	cnt := &counter{f: f}
+
+	fx := cnt.call(x)
+	g := Gradient(cnt.call, x, fx, bounds, o.Scheme, o.FDStep)
+
+	// L-BFGS history.
+	var sHist, yHist [][]float64
+	var rhoHist []float64
+
+	iters := 0
+	converged := false
+	msg := "max iterations reached"
+	for ; iters < maxIter && cnt.n < maxFev; iters++ {
+		if projectedGradientNorm(x, g, bounds) <= tol {
+			converged = true
+			msg = "projected gradient below tolerance"
+			break
+		}
+		d := twoLoop(g, sHist, yHist, rhoHist)
+		for i := range d {
+			d[i] = -d[i]
+		}
+		// Make the direction feasible-descent: zero components pushing
+		// against an active bound.
+		descent := 0.0
+		for i := range d {
+			if (x[i] <= bounds.Lo[i] && d[i] < 0) || (x[i] >= bounds.Hi[i] && d[i] > 0) {
+				d[i] = 0
+			}
+			descent += d[i] * g[i]
+		}
+		if descent >= 0 {
+			// Not a descent direction (stale curvature): fall back to the
+			// projected steepest descent direction.
+			sHist, yHist, rhoHist = nil, nil, nil
+			for i := range d {
+				d[i] = -g[i]
+				if (x[i] <= bounds.Lo[i] && d[i] < 0) || (x[i] >= bounds.Hi[i] && d[i] > 0) {
+					d[i] = 0
+				}
+			}
+			descent = 0
+			for i := range d {
+				descent += d[i] * g[i]
+			}
+			if descent >= 0 {
+				converged = true
+				msg = "no feasible descent direction (KKT point)"
+				break
+			}
+		}
+
+		// Projected backtracking (Armijo) line search along clip(x + α·d).
+		xNew, fNew, ok := projectedLineSearch(cnt, x, fx, g, d, bounds, maxFev)
+		if !ok {
+			msg = "line search failed to make progress"
+			break
+		}
+
+		gNew := Gradient(cnt.call, xNew, fNew, bounds, o.Scheme, o.FDStep)
+		// Curvature update.
+		s := make([]float64, n)
+		y := make([]float64, n)
+		sy := 0.0
+		for i := range x {
+			s[i] = xNew[i] - x[i]
+			y[i] = gNew[i] - g[i]
+			sy += s[i] * y[i]
+		}
+		if sy > 1e-10 {
+			sHist = append(sHist, s)
+			yHist = append(yHist, y)
+			rhoHist = append(rhoHist, 1/sy)
+			if len(sHist) > mem {
+				sHist = sHist[1:]
+				yHist = yHist[1:]
+				rhoHist = rhoHist[1:]
+			}
+		}
+
+		fPrev := fx
+		x, fx, g = xNew, fNew, gNew
+		if relChange(fPrev, fx) <= tol {
+			converged = true
+			msg = "function change below tolerance"
+			iters++
+			break
+		}
+	}
+	if !converged && cnt.n >= maxFev {
+		msg = "function evaluation budget exhausted"
+	}
+	return Result{X: x, F: fx, NFev: cnt.n, Iters: iters, Converged: converged, Message: msg}
+}
+
+// twoLoop computes H·g with the standard L-BFGS two-loop recursion,
+// scaling the initial Hessian by the last curvature pair.
+func twoLoop(g []float64, sHist, yHist [][]float64, rhoHist []float64) []float64 {
+	q := append([]float64(nil), g...)
+	k := len(sHist)
+	alpha := make([]float64, k)
+	for i := k - 1; i >= 0; i-- {
+		a := rhoHist[i] * dot(sHist[i], q)
+		alpha[i] = a
+		for j := range q {
+			q[j] -= a * yHist[i][j]
+		}
+	}
+	if k > 0 {
+		yy := dot(yHist[k-1], yHist[k-1])
+		if yy > 0 {
+			scale := dot(sHist[k-1], yHist[k-1]) / yy
+			for j := range q {
+				q[j] *= scale
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		b := rhoHist[i] * dot(yHist[i], q)
+		for j := range q {
+			q[j] += (alpha[i] - b) * sHist[i][j]
+		}
+	}
+	return q
+}
+
+// projectedLineSearch backtracks along clip(x + α·d) with an Armijo
+// condition on the projected step. It returns the accepted point.
+func projectedLineSearch(cnt *counter, x []float64, fx float64, g, d []float64, bounds *Bounds, maxFev int) (xNew []float64, fNew float64, ok bool) {
+	const c1 = 1e-4
+	alpha := 1.0
+	for try := 0; try < 30 && cnt.n < maxFev; try++ {
+		xt := make([]float64, len(x))
+		for i := range xt {
+			xt[i] = x[i] + alpha*d[i]
+		}
+		bounds.Clip(xt)
+		// Armijo on the actual (projected) displacement.
+		gTdx := 0.0
+		moved := false
+		for i := range xt {
+			dx := xt[i] - x[i]
+			if dx != 0 {
+				moved = true
+			}
+			gTdx += g[i] * dx
+		}
+		if !moved {
+			return nil, 0, false
+		}
+		ft := cnt.call(xt)
+		if ft <= fx+c1*gTdx || (gTdx >= 0 && ft < fx) {
+			return xt, ft, true
+		}
+		alpha /= 2
+	}
+	return nil, 0, false
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

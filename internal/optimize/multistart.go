@@ -1,0 +1,52 @@
+package optimize
+
+import (
+	"math/rand"
+)
+
+// MultiStartResult aggregates a multistart run: the best single result
+// plus totals over every start (the paper's "20 random initializations"
+// protocol reports the total QC calls across starts).
+type MultiStartResult struct {
+	Best      Result   // the lowest-F run
+	TotalNFev int      // function evaluations summed over all starts
+	Runs      []Result // every individual run, in start order
+}
+
+// MultiStart minimizes f from k points sampled uniformly in bounds with
+// rng, returning the best result and the total evaluation cost.
+// It panics for k < 1.
+func MultiStart(opt Optimizer, f Func, bounds *Bounds, k int, rng *rand.Rand) MultiStartResult {
+	if k < 1 {
+		panic("optimize: MultiStart needs k >= 1")
+	}
+	var out MultiStartResult
+	for i := 0; i < k; i++ {
+		x0 := bounds.Random(rng)
+		r := opt.Minimize(f, x0, bounds)
+		out.Runs = append(out.Runs, r)
+		out.TotalNFev += r.NFev
+		if i == 0 || r.F < out.Best.F {
+			out.Best = r
+		}
+	}
+	return out
+}
+
+// MultiStartFrom behaves like MultiStart but uses the provided explicit
+// start points instead of random sampling. It panics on empty starts.
+func MultiStartFrom(opt Optimizer, f Func, bounds *Bounds, starts [][]float64) MultiStartResult {
+	if len(starts) == 0 {
+		panic("optimize: MultiStartFrom needs at least one start")
+	}
+	var out MultiStartResult
+	for i, x0 := range starts {
+		r := opt.Minimize(f, x0, bounds)
+		out.Runs = append(out.Runs, r)
+		out.TotalNFev += r.NFev
+		if i == 0 || r.F < out.Best.F {
+			out.Best = r
+		}
+	}
+	return out
+}

@@ -1,0 +1,355 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qaoaml/internal/linalg"
+)
+
+// sphere has its minimum 0 at the given center.
+func sphere(center []float64) Func {
+	return func(x []float64) float64 {
+		s := 0.0
+		for i := range x {
+			d := x[i] - center[i]
+			s += d * d
+		}
+		return s
+	}
+}
+
+// rosenbrock is the classic banana function, minimum 0 at (1, 1).
+func rosenbrock(x []float64) float64 {
+	return 100*math.Pow(x[1]-x[0]*x[0], 2) + math.Pow(1-x[0], 2)
+}
+
+// qaoaLike mirrors the single-edge QAOA landscape: minimize the
+// negative expectation −(1 + sin(x0)·sin(4·x1))/2 over the paper's
+// domain; the optimum is −1 at (π/2, π/8) (among others).
+func qaoaLike(x []float64) float64 {
+	return -0.5 * (1 + math.Sin(x[0])*math.Sin(4*x[1]))
+}
+
+func allOptimizers() []Optimizer {
+	return []Optimizer{
+		&LBFGSB{},
+		&NelderMead{},
+		&SLSQP{},
+		&COBYLA{},
+	}
+}
+
+func TestOptimizersOnSphere(t *testing.T) {
+	center := []float64{0.7, -0.3, 1.2}
+	b := UniformBounds(3, -2, 2)
+	for _, opt := range allOptimizers() {
+		r := opt.Minimize(sphere(center), []float64{-1, 1, 0}, b)
+		if r.F > 1e-5 {
+			t.Errorf("%s: F = %v at %v (msg: %s)", opt.Name(), r.F, r.X, r.Message)
+		}
+		for i := range center {
+			if math.Abs(r.X[i]-center[i]) > 1e-2 {
+				t.Errorf("%s: x[%d] = %v, want %v", opt.Name(), i, r.X[i], center[i])
+			}
+		}
+		if r.NFev <= 0 {
+			t.Errorf("%s: NFev = %d", opt.Name(), r.NFev)
+		}
+	}
+}
+
+func TestOptimizersRespectBounds(t *testing.T) {
+	// Minimum of the sphere is outside the box: optimizers must stop at
+	// the face x = 1 and stay feasible throughout the reported solution.
+	center := []float64{3, 3}
+	b := UniformBounds(2, -1, 1)
+	for _, opt := range allOptimizers() {
+		r := opt.Minimize(sphere(center), []float64{0, 0}, b)
+		if !b.Contains(r.X) {
+			t.Errorf("%s: solution %v violates bounds", opt.Name(), r.X)
+		}
+		for i := range r.X {
+			if math.Abs(r.X[i]-1) > 2e-2 {
+				t.Errorf("%s: x[%d] = %v, want 1 (active bound)", opt.Name(), i, r.X[i])
+			}
+		}
+	}
+}
+
+func TestGradientOptimizersOnRosenbrock(t *testing.T) {
+	b := UniformBounds(2, -2, 2)
+	for _, opt := range []Optimizer{&LBFGSB{MaxIter: 2000}, &SLSQP{MaxIter: 2000}} {
+		r := opt.Minimize(rosenbrock, []float64{-1.2, 1}, b)
+		if r.F > 1e-4 {
+			t.Errorf("%s: rosenbrock F = %v at %v (msg: %s)", opt.Name(), r.F, r.X, r.Message)
+		}
+	}
+}
+
+func TestOptimizersOnQAOALandscape(t *testing.T) {
+	b := NewBounds([]float64{0, 0}, []float64{2 * math.Pi, math.Pi})
+	for _, opt := range allOptimizers() {
+		// Start near (not at) the optimum so every method converges to
+		// the global basin.
+		r := opt.Minimize(qaoaLike, []float64{1.2, 0.5}, b)
+		if r.F > -0.99 {
+			t.Errorf("%s: qaoa landscape F = %v at %v (msg: %s)", opt.Name(), r.F, r.X, r.Message)
+		}
+	}
+}
+
+func TestWarmStartCutsFunctionCalls(t *testing.T) {
+	// The paper's core effect: starting near the optimum must cost fewer
+	// function calls than starting far away, for every optimizer.
+	b := NewBounds([]float64{0, 0}, []float64{2 * math.Pi, math.Pi})
+	near := []float64{math.Pi/2 + 0.05, math.Pi/8 + 0.02}
+	far := []float64{5.9, 2.9}
+	for _, opt := range allOptimizers() {
+		rNear := opt.Minimize(qaoaLike, near, b)
+		rFar := opt.Minimize(qaoaLike, far, b)
+		if rNear.F > -0.99 {
+			t.Errorf("%s: near start failed to converge (F=%v)", opt.Name(), rNear.F)
+			continue
+		}
+		if rFar.F <= -0.99 && rNear.NFev >= rFar.NFev {
+			t.Errorf("%s: near start cost %d >= far start %d", opt.Name(), rNear.NFev, rFar.NFev)
+		}
+	}
+}
+
+func TestResultConvergedFlag(t *testing.T) {
+	b := UniformBounds(2, -2, 2)
+	for _, opt := range allOptimizers() {
+		r := opt.Minimize(sphere([]float64{0, 0}), []float64{1, 1}, b)
+		if !r.Converged {
+			t.Errorf("%s: easy problem did not converge: %s", opt.Name(), r.Message)
+		}
+		if r.Message == "" {
+			t.Errorf("%s: empty message", opt.Name())
+		}
+	}
+}
+
+func TestMaxFevBudget(t *testing.T) {
+	budgets := []Optimizer{
+		&LBFGSB{MaxFev: 10},
+		&NelderMead{MaxFev: 10},
+		&SLSQP{MaxFev: 10},
+		&COBYLA{MaxFev: 10},
+	}
+	b := UniformBounds(4, -2, 2)
+	for _, opt := range budgets {
+		r := opt.Minimize(rosenbrockND, b.Random(rand.New(rand.NewSource(1))), b)
+		// Gradient methods may slightly overshoot inside one gradient batch;
+		// allow the batch slack (2n+1 evals).
+		if r.NFev > 10+2*4+1 {
+			t.Errorf("%s: NFev = %d exceeds budget", opt.Name(), r.NFev)
+		}
+	}
+}
+
+func rosenbrockND(x []float64) float64 {
+	s := 0.0
+	for i := 0; i+1 < len(x); i++ {
+		s += 100*math.Pow(x[i+1]-x[i]*x[i], 2) + math.Pow(1-x[i], 2)
+	}
+	return s
+}
+
+func TestStartOutsideBoundsIsClipped(t *testing.T) {
+	b := UniformBounds(2, 0, 1)
+	for _, opt := range allOptimizers() {
+		r := opt.Minimize(sphere([]float64{0.5, 0.5}), []float64{7, -7}, b)
+		if !b.Contains(r.X) {
+			t.Errorf("%s: solution %v out of bounds", opt.Name(), r.X)
+		}
+		if r.F > 1e-4 {
+			t.Errorf("%s: F = %v", opt.Name(), r.F)
+		}
+	}
+}
+
+func TestBoundsHelpers(t *testing.T) {
+	b := NewBounds([]float64{0, -1}, []float64{1, 1})
+	if b.Dim() != 2 {
+		t.Fatalf("Dim = %d", b.Dim())
+	}
+	x := []float64{2, -3}
+	b.Clip(x)
+	if x[0] != 1 || x[1] != -1 {
+		t.Errorf("Clip = %v", x)
+	}
+	if !b.Contains(x) || b.Contains([]float64{0.5, 2}) {
+		t.Error("Contains wrong")
+	}
+	w := b.Width()
+	if w[0] != 1 || w[1] != 2 {
+		t.Errorf("Width = %v", w)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		if !b.Contains(b.Random(rng)) {
+			t.Fatal("Random sample out of bounds")
+		}
+	}
+}
+
+func TestBoundsValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBounds([]float64{0}, []float64{1, 2}) },
+		func() { NewBounds([]float64{2}, []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGradientCentralAndForward(t *testing.T) {
+	f := func(x []float64) float64 { return x[0]*x[0] + 3*x[1] }
+	x := []float64{1.5, -2}
+	b := UniformBounds(2, -10, 10)
+	for _, scheme := range []FDScheme{CentralDiff, ForwardDiff} {
+		g := Gradient(f, x, f(x), b, scheme, 1e-6)
+		if math.Abs(g[0]-3) > 1e-4 || math.Abs(g[1]-3) > 1e-4 {
+			t.Errorf("%v gradient = %v, want [3 3]", scheme, g)
+		}
+	}
+}
+
+func TestGradientAtBoundary(t *testing.T) {
+	// x at the upper face: probes must stay inside the box.
+	b := UniformBounds(1, 0, 1)
+	calls := 0
+	f := func(x []float64) float64 {
+		calls++
+		if !b.Contains(x) {
+			t.Fatalf("gradient probed out-of-bounds point %v", x)
+		}
+		return 2 * x[0]
+	}
+	g := Gradient(f, []float64{1}, math.NaN(), b, CentralDiff, 1e-6)
+	if math.Abs(g[0]-2) > 1e-4 {
+		t.Errorf("boundary central gradient = %v", g)
+	}
+	g = Gradient(f, []float64{1}, math.NaN(), b, ForwardDiff, 1e-6)
+	if math.Abs(g[0]-2) > 1e-4 {
+		t.Errorf("boundary forward gradient = %v", g)
+	}
+	if calls == 0 {
+		t.Fatal("gradient made no calls")
+	}
+}
+
+func TestProjectedGradientNorm(t *testing.T) {
+	b := UniformBounds(2, 0, 1)
+	// At the lower face with outward gradient: projected component is 0.
+	if got := projectedGradientNorm([]float64{0, 0.5}, []float64{5, 0}, b); got != 0 {
+		t.Errorf("norm = %v, want 0", got)
+	}
+	// Inward gradient at the face still counts.
+	if got := projectedGradientNorm([]float64{0, 0.5}, []float64{-5, 0}, b); got != 5 {
+		t.Errorf("norm = %v, want 5", got)
+	}
+	if got := projectedGradientNorm([]float64{1, 0.5}, []float64{0, -2}, b); got != 2 {
+		t.Errorf("interior norm = %v, want 2", got)
+	}
+}
+
+func TestFDSchemeString(t *testing.T) {
+	if CentralDiff.String() != "central" || ForwardDiff.String() != "forward" {
+		t.Error("FDScheme names wrong")
+	}
+}
+
+func TestMultiStart(t *testing.T) {
+	b := UniformBounds(2, -2, 2)
+	rng := rand.New(rand.NewSource(4))
+	ms := MultiStart(&NelderMead{}, sphere([]float64{1, 1}), b, 5, rng)
+	if len(ms.Runs) != 5 {
+		t.Fatalf("runs = %d", len(ms.Runs))
+	}
+	sum := 0
+	for _, r := range ms.Runs {
+		sum += r.NFev
+	}
+	if sum != ms.TotalNFev {
+		t.Errorf("TotalNFev = %d, want %d", ms.TotalNFev, sum)
+	}
+	if ms.Best.F > 1e-5 {
+		t.Errorf("Best.F = %v", ms.Best.F)
+	}
+	for _, r := range ms.Runs {
+		if ms.Best.F > r.F {
+			t.Error("Best is not the minimum over runs")
+		}
+	}
+}
+
+func TestMultiStartFrom(t *testing.T) {
+	b := UniformBounds(1, -5, 5)
+	f := func(x []float64) float64 { return math.Cos(x[0]) } // minima at ±π
+	ms := MultiStartFrom(&LBFGSB{}, f, b, [][]float64{{3}, {-3}, {0.5}})
+	if len(ms.Runs) != 3 {
+		t.Fatalf("runs = %d", len(ms.Runs))
+	}
+	if ms.Best.F > -0.999 {
+		t.Errorf("Best.F = %v, want ~-1", ms.Best.F)
+	}
+}
+
+func TestMultiStartPanicsOnZeroStarts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MultiStart(&NelderMead{}, sphere([]float64{0}), UniformBounds(1, 0, 1), 0, rand.New(rand.NewSource(0)))
+}
+
+// Property: every optimizer returns a feasible point with F equal to
+// the objective evaluated there, never worse than the start.
+func TestOptimizerInvariants(t *testing.T) {
+	opts := allOptimizers()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := UniformBounds(3, -1, 2)
+		x0 := b.Random(rng)
+		center := b.Random(rng)
+		obj := sphere(center)
+		f0 := obj(x0)
+		opt := opts[int(uint64(seed)%uint64(len(opts)))]
+		r := opt.Minimize(obj, x0, b)
+		if !b.Contains(r.X) {
+			return false
+		}
+		if math.Abs(obj(r.X)-r.F) > 1e-12 {
+			return false
+		}
+		return r.F <= f0+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 24}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizerNames(t *testing.T) {
+	want := map[string]bool{"L-BFGS-B": true, "Nelder-Mead": true, "SLSQP": true, "COBYLA": true}
+	for _, opt := range allOptimizers() {
+		if !want[opt.Name()] {
+			t.Errorf("unexpected name %q", opt.Name())
+		}
+	}
+}
+
+func matFromRows(rows [][]float64) *linalg.Matrix {
+	return linalg.FromRows(rows)
+}

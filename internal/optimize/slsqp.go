@@ -1,0 +1,178 @@
+package optimize
+
+import (
+	"math"
+
+	"qaoaml/internal/linalg"
+)
+
+// SLSQP is a sequential quadratic programming method with a damped-BFGS
+// Hessian approximation, the algorithm family of SciPy's SLSQP. The
+// QAOA domain has only box constraints, so each QP subproblem
+//
+//	min  gᵀd + ½ dᵀBd   s.t.  lo − x ≤ d ≤ hi − x
+//
+// is solved by cyclic coordinate descent with clipping, which converges
+// for the SPD B maintained by the damped update. Gradients are finite
+// differences (counted as function calls).
+type SLSQP struct {
+	Tol     float64  // relative f-change / projected-gradient tolerance (default 1e-6)
+	MaxIter int      // outer iteration cap (default 100·dim)
+	MaxFev  int      // function evaluation cap (default 2000·dim)
+	Scheme  FDScheme // finite-difference scheme (default central)
+	FDStep  float64  // finite-difference step (default 1e-6)
+	QPSweep int      // coordinate-descent sweeps per QP solve (default 30)
+}
+
+// Name implements Optimizer.
+func (o *SLSQP) Name() string { return "SLSQP" }
+
+// Minimize implements Optimizer.
+func (o *SLSQP) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
+	x := prepareStart(x0, bounds)
+	n := len(x)
+	tol := tolOrDefault(o.Tol)
+	maxIter := maxIterOrDefault(o.MaxIter, 100*n)
+	maxFev := maxIterOrDefault(o.MaxFev, 2000*n)
+	sweeps := maxIterOrDefault(o.QPSweep, 30)
+	cnt := &counter{f: f}
+
+	fx := cnt.call(x)
+	g := Gradient(cnt.call, x, fx, bounds, o.Scheme, o.FDStep)
+	b := linalg.Identity(n)
+
+	iters := 0
+	converged := false
+	msg := "max iterations reached"
+	for ; iters < maxIter && cnt.n < maxFev; iters++ {
+		if projectedGradientNorm(x, g, bounds) <= tol {
+			converged = true
+			msg = "projected gradient below tolerance"
+			break
+		}
+		d := solveBoxQP(b, g, x, bounds, sweeps)
+		norm := 0.0
+		for _, di := range d {
+			norm += di * di
+		}
+		if math.Sqrt(norm) <= 1e-14 {
+			converged = true
+			msg = "QP step vanished (KKT point)"
+			break
+		}
+
+		// Armijo backtracking along the feasible direction d.
+		gTd := dot(g, d)
+		alpha := 1.0
+		var xNew []float64
+		var fNew float64
+		accepted := false
+		for try := 0; try < 30 && cnt.n < maxFev; try++ {
+			xt := make([]float64, n)
+			for i := range xt {
+				xt[i] = x[i] + alpha*d[i]
+			}
+			bounds.Clip(xt) // guard roundoff; d is feasible by construction
+			ft := cnt.call(xt)
+			if ft <= fx+1e-4*alpha*gTd || (gTd >= 0 && ft < fx) {
+				xNew, fNew, accepted = xt, ft, true
+				break
+			}
+			alpha /= 2
+		}
+		if !accepted {
+			msg = "line search failed to make progress"
+			break
+		}
+
+		gNew := Gradient(cnt.call, xNew, fNew, bounds, o.Scheme, o.FDStep)
+		updateDampedBFGS(b, x, xNew, g, gNew)
+
+		fPrev := fx
+		x, fx, g = xNew, fNew, gNew
+		if relChange(fPrev, fx) <= tol {
+			converged = true
+			msg = "function change below tolerance"
+			iters++
+			break
+		}
+	}
+	if !converged && cnt.n >= maxFev {
+		msg = "function evaluation budget exhausted"
+	}
+	return Result{X: x, F: fx, NFev: cnt.n, Iters: iters, Converged: converged, Message: msg}
+}
+
+// solveBoxQP minimizes gᵀd + ½dᵀBd subject to lo−x ≤ d ≤ hi−x by cyclic
+// coordinate descent with clipping (convergent for SPD B).
+func solveBoxQP(b *linalg.Matrix, g, x []float64, bounds *Bounds, sweeps int) []float64 {
+	n := len(g)
+	d := make([]float64, n)
+	for s := 0; s < sweeps; s++ {
+		maxDelta := 0.0
+		for i := 0; i < n; i++ {
+			bii := b.At(i, i)
+			if bii <= 0 {
+				bii = 1
+			}
+			// Partial derivative of the QP objective wrt d_i at current d.
+			deriv := g[i]
+			for j := 0; j < n; j++ {
+				deriv += b.At(i, j) * d[j]
+			}
+			di := d[i] - deriv/bii
+			lo, hi := bounds.Lo[i]-x[i], bounds.Hi[i]-x[i]
+			if di < lo {
+				di = lo
+			} else if di > hi {
+				di = hi
+			}
+			if delta := math.Abs(di - d[i]); delta > maxDelta {
+				maxDelta = delta
+			}
+			d[i] = di
+		}
+		if maxDelta < 1e-14 {
+			break
+		}
+	}
+	return d
+}
+
+// updateDampedBFGS applies Powell's damped BFGS update to b in place,
+// which keeps it positive definite even when sᵀy ≤ 0.
+func updateDampedBFGS(b *linalg.Matrix, x, xNew, g, gNew []float64) {
+	n := len(x)
+	s := make(linalg.Vector, n)
+	y := make(linalg.Vector, n)
+	for i := range s {
+		s[i] = xNew[i] - x[i]
+		y[i] = gNew[i] - g[i]
+	}
+	bs := b.MulVec(s)
+	sBs := s.Dot(bs)
+	if sBs <= 0 {
+		return // degenerate step; skip update
+	}
+	sy := s.Dot(y)
+	theta := 1.0
+	if sy < 0.2*sBs {
+		theta = 0.8 * sBs / (sBs - sy)
+	}
+	// r = θ·y + (1−θ)·B·s guarantees sᵀr ≥ 0.2·sᵀBs > 0.
+	r := make(linalg.Vector, n)
+	for i := range r {
+		r[i] = theta*y[i] + (1-theta)*bs[i]
+	}
+	sr := s.Dot(r)
+	if sr <= 1e-12 {
+		return
+	}
+	// B ← B − (B s sᵀ B)/(sᵀBs) + (r rᵀ)/(sᵀr)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := b.At(i, j) - bs[i]*bs[j]/sBs + r[i]*r[j]/sr
+			b.Set(i, j, v)
+		}
+	}
+}

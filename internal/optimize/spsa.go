@@ -1,0 +1,133 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SPSA is simultaneous perturbation stochastic approximation (Spall),
+// the optimizer most commonly used for variational quantum circuits on
+// real hardware because every pseudo-gradient costs exactly two
+// function evaluations regardless of dimension. It is not one of the
+// paper's four optimizers; it is included as an extension so the
+// two-level initialization can be evaluated against the
+// hardware-practical choice (see the ablation benches).
+//
+// Standard gain sequences a_k = a/(k+1+A)^α and c_k = c/(k+1)^γ with
+// the usual α = 0.602, γ = 0.101 defaults.
+type SPSA struct {
+	Tol     float64 // relative best-f stall tolerance (default 1e-6)
+	MaxIter int     // iteration cap (default 300·dim)
+	MaxFev  int     // function evaluation cap (default 2000·dim)
+	A       float64 // numerator of a_k (default auto-scaled from bounds)
+	C       float64 // numerator of c_k (default 0.1)
+	Alpha   float64 // a_k decay exponent (default 0.602)
+	Gamma   float64 // c_k decay exponent (default 0.101)
+	Seed    int64   // perturbation RNG seed (default 1)
+}
+
+// Name implements Optimizer.
+func (o *SPSA) Name() string { return "SPSA" }
+
+// Minimize implements Optimizer.
+func (o *SPSA) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
+	x := prepareStart(x0, bounds)
+	n := len(x)
+	tol := tolOrDefault(o.Tol)
+	maxIter := maxIterOrDefault(o.MaxIter, 300*n)
+	maxFev := maxIterOrDefault(o.MaxFev, 2000*n)
+	alpha := o.Alpha
+	if alpha <= 0 {
+		alpha = 0.602
+	}
+	gamma := o.Gamma
+	if gamma <= 0 {
+		gamma = 0.101
+	}
+	c := o.C
+	if c <= 0 {
+		c = 0.1
+	}
+	a := o.A
+	if a <= 0 {
+		// Scale the step so the first iterations move ~2% of the box.
+		w := bounds.Width()
+		mean := 0.0
+		for _, wi := range w {
+			mean += wi / float64(n)
+		}
+		a = 0.02 * mean * math.Pow(1+50, alpha)
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cnt := &counter{f: f}
+
+	best := append([]float64(nil), x...)
+	fBest := cnt.call(best)
+	fx := fBest
+	stall := 0
+	stallWindow := 10 * n
+	iters := 0
+	converged := false
+	msg := "max iterations reached"
+	delta := make([]float64, n)
+	xp := make([]float64, n)
+	xm := make([]float64, n)
+	for ; iters < maxIter && cnt.n+2 <= maxFev; iters++ {
+		k := float64(iters)
+		ak := a / math.Pow(k+1+50, alpha)
+		ck := c / math.Pow(k+1, gamma)
+		for i := range delta {
+			if rng.Intn(2) == 0 {
+				delta[i] = 1
+			} else {
+				delta[i] = -1
+			}
+			xp[i] = x[i] + ck*delta[i]
+			xm[i] = x[i] - ck*delta[i]
+		}
+		bounds.Clip(xp)
+		bounds.Clip(xm)
+		fp := cnt.call(xp)
+		fm := cnt.call(xm)
+		for i := range x {
+			ghat := (fp - fm) / (2 * ck * delta[i])
+			x[i] -= ak * ghat
+		}
+		bounds.Clip(x)
+		// SPSA does not evaluate f(x) each step; track the best probe.
+		if fp < fBest {
+			fBest = fp
+			copy(best, xp)
+		}
+		if fm < fBest {
+			fBest = fm
+			copy(best, xm)
+		}
+		if math.Min(fp, fm) < fx-tol*math.Max(1, math.Abs(fx)) {
+			fx = math.Min(fp, fm)
+			stall = 0
+		} else {
+			stall++
+			if stall >= stallWindow {
+				converged = true
+				msg = "function change below tolerance"
+				break
+			}
+		}
+	}
+	// Final candidate: the drifting iterate may beat the best probe.
+	if cnt.n < maxFev {
+		if ffinal := cnt.call(x); ffinal < fBest {
+			fBest = ffinal
+			copy(best, x)
+		}
+	}
+	if !converged && cnt.n >= maxFev-1 {
+		msg = "function evaluation budget exhausted"
+	}
+	return Result{X: best, F: fBest, NFev: cnt.n, Iters: iters, Converged: converged, Message: msg}
+}

@@ -1,0 +1,143 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSPSAOnSphere(t *testing.T) {
+	center := []float64{0.5, -0.2, 0.8}
+	b := UniformBounds(3, -2, 2)
+	r := (&SPSA{Seed: 3}).Minimize(sphere(center), []float64{-1, 1, 0}, b)
+	if r.F > 1e-2 {
+		t.Errorf("SPSA sphere F = %v at %v (%s)", r.F, r.X, r.Message)
+	}
+	if !b.Contains(r.X) {
+		t.Errorf("solution %v out of bounds", r.X)
+	}
+}
+
+func TestSPSAOnQAOALandscape(t *testing.T) {
+	b := NewBounds([]float64{0, 0}, []float64{2 * math.Pi, math.Pi})
+	r := (&SPSA{Seed: 4}).Minimize(qaoaLike, []float64{1.2, 0.5}, b)
+	if r.F > -0.95 {
+		t.Errorf("SPSA qaoa F = %v at %v (%s)", r.F, r.X, r.Message)
+	}
+}
+
+func TestSPSAConstantGradientCost(t *testing.T) {
+	// SPSA's defining property: per-iteration cost is 2 evaluations
+	// regardless of dimension.
+	for _, n := range []int{2, 8} {
+		b := UniformBounds(n, -1, 1)
+		o := &SPSA{MaxIter: 25, Seed: 5, Tol: 1e-15} // tolerance off: fixed 25 iters
+		r := o.Minimize(sphere(make([]float64, n)), b.Random(newRng(6)), b)
+		// 1 initial + 2 per iteration + 1 final.
+		want := 1 + 2*25 + 1
+		if r.NFev != want {
+			t.Errorf("n=%d: NFev = %d, want %d", n, r.NFev, want)
+		}
+	}
+}
+
+func TestSPSADeterministicWithSeed(t *testing.T) {
+	b := UniformBounds(2, -2, 2)
+	f := sphere([]float64{1, 1})
+	r1 := (&SPSA{Seed: 7}).Minimize(f, []float64{0, 0}, b)
+	r2 := (&SPSA{Seed: 7}).Minimize(f, []float64{0, 0}, b)
+	if r1.F != r2.F || r1.NFev != r2.NFev {
+		t.Error("same seed produced different runs")
+	}
+	r3 := (&SPSA{Seed: 8}).Minimize(f, []float64{0, 0}, b)
+	if r1.NFev == r3.NFev && r1.F == r3.F {
+		t.Log("different seeds coincidentally identical (not an error, just unlikely)")
+	}
+}
+
+func TestSPSARespectsBudget(t *testing.T) {
+	b := UniformBounds(4, -2, 2)
+	r := (&SPSA{MaxFev: 20, Seed: 9}).Minimize(rosenbrockND, b.Random(newRng(10)), b)
+	if r.NFev > 20 {
+		t.Errorf("NFev = %d exceeds budget 20", r.NFev)
+	}
+}
+
+func TestSPSAWarmStartImprovesResult(t *testing.T) {
+	// SPSA is stochastic, so compare quality rather than evaluations:
+	// with a tight budget, starting near the optimum must end closer to
+	// it than starting far away.
+	b := NewBounds([]float64{0, 0}, []float64{2 * math.Pi, math.Pi})
+	near := []float64{math.Pi/2 + 0.05, math.Pi/8 + 0.02}
+	far := []float64{5.9, 2.9}
+	budget := &SPSA{MaxFev: 60, Seed: 11}
+	rNear := budget.Minimize(qaoaLike, near, b)
+	rFar := budget.Minimize(qaoaLike, far, b)
+	if rNear.F >= rFar.F {
+		t.Errorf("near start F=%v not better than far start F=%v under budget", rNear.F, rFar.F)
+	}
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// solveBoxQP must satisfy the KKT conditions of the box-constrained QP:
+// at the solution, the gradient component is zero for interior
+// coordinates, nonnegative at the lower face, nonpositive at the upper
+// face.
+func TestSolveBoxQPKKT(t *testing.T) {
+	rng := newRng(40)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(5)
+		// Random SPD B = AᵀA + I.
+		bm := make([][]float64, n)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+			}
+		}
+		for i := range bm {
+			bm[i] = make([]float64, n)
+			for j := range bm[i] {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += a[k][i] * a[k][j]
+				}
+				bm[i][j] = s
+			}
+			bm[i][i] += 1
+		}
+		bmat := matFromRows(bm)
+		g := make([]float64, n)
+		x := make([]float64, n)
+		for i := range g {
+			g[i] = rng.NormFloat64() * 3
+			x[i] = rng.Float64()
+		}
+		bounds := UniformBounds(n, 0, 1)
+		d := solveBoxQP(bmat, g, x, bounds, 200)
+		// KKT check on ∇q(d) = g + B·d.
+		for i := 0; i < n; i++ {
+			grad := g[i]
+			for j := 0; j < n; j++ {
+				grad += bmat.At(i, j) * d[j]
+			}
+			lo, hi := bounds.Lo[i]-x[i], bounds.Hi[i]-x[i]
+			switch {
+			case d[i] <= lo+1e-9: // at lower face: gradient must push down
+				if grad < -1e-6 {
+					t.Fatalf("trial %d: KKT violated at lower face: grad=%v", trial, grad)
+				}
+			case d[i] >= hi-1e-9: // at upper face: gradient must push up
+				if grad > 1e-6 {
+					t.Fatalf("trial %d: KKT violated at upper face: grad=%v", trial, grad)
+				}
+			default: // interior: gradient must vanish
+				if grad > 1e-6 || grad < -1e-6 {
+					t.Fatalf("trial %d: KKT violated interior: grad=%v", trial, grad)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package qaoa
+
+import (
+	"fmt"
+	"math"
+
+	"qaoaml/internal/quantum"
+)
+
+// DiagonalProblem generalizes the MaxCut Problem to any cost function
+// that is diagonal in the computational basis (any QUBO/Ising-style
+// objective): maximize C(z) over bit strings z, driven by the standard
+// QAOA ansatz with phase separator U_C(γ) = exp(−iγ C) and transverse
+// mixers RX(2β). MaxCut is the special case where C counts cut edges;
+// this type admits arbitrary tables (number partitioning, MAX-k-SAT
+// penalties, ...).
+type DiagonalProblem struct {
+	N        int       // qubits
+	Diag     []float64 // C(z) for every basis state, length 2^N
+	OptValue float64   // max over Diag
+	MinValue float64   // min over Diag
+}
+
+// NewDiagonalProblem validates the cost table (length 2^n, finite
+// entries, non-constant).
+func NewDiagonalProblem(n int, diag []float64) (*DiagonalProblem, error) {
+	if n < 1 || n > quantum.MaxQubits {
+		return nil, fmt.Errorf("qaoa: qubit count %d out of [1,%d]", n, quantum.MaxQubits)
+	}
+	if len(diag) != 1<<uint(n) {
+		return nil, fmt.Errorf("qaoa: cost table length %d != 2^%d", len(diag), n)
+	}
+	lo, hi := diag[0], diag[0]
+	for _, v := range diag {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("qaoa: non-finite cost entry %v", v)
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo == hi {
+		return nil, fmt.Errorf("qaoa: constant cost table has nothing to optimize")
+	}
+	table := append([]float64(nil), diag...)
+	return &DiagonalProblem{N: n, Diag: table, OptValue: hi, MinValue: lo}, nil
+}
+
+// State returns |ψ(γ, β)⟩ for the general ansatz: H layer, then per
+// stage exp(−iγ C) followed by RX(2β) mixers.
+func (dp *DiagonalProblem) State(pr Params) *quantum.State {
+	if err := pr.Validate(false); err != nil {
+		panic(err)
+	}
+	s := quantum.NewState(dp.N)
+	for q := 0; q < dp.N; q++ {
+		s.H(q)
+	}
+	phases := make([]float64, len(dp.Diag))
+	for stage := 0; stage < pr.Depth(); stage++ {
+		gamma := pr.Gamma[stage]
+		for z := range phases {
+			phases[z] = -gamma * dp.Diag[z]
+		}
+		s.ApplyDiagonalPhase(phases)
+		for q := 0; q < dp.N; q++ {
+			s.RX(q, 2*pr.Beta[stage])
+		}
+	}
+	return s
+}
+
+// Expectation returns ⟨C⟩ in the ansatz state.
+func (dp *DiagonalProblem) Expectation(pr Params) float64 {
+	return dp.State(pr).ExpectationDiagonal(dp.Diag)
+}
+
+// NormalizedScore maps ⟨C⟩ to [0, 1] via (⟨C⟩ − min C)/(max C − min C):
+// the approximation-ratio analogue that stays well-defined for cost
+// tables with arbitrary sign.
+func (dp *DiagonalProblem) NormalizedScore(pr Params) float64 {
+	return (dp.Expectation(pr) - dp.MinValue) / (dp.OptValue - dp.MinValue)
+}
+
+// BestSampled returns the most probable basis state and its cost.
+func (dp *DiagonalProblem) BestSampled(pr Params) (cost float64, assign uint64) {
+	probs := dp.State(pr).Probabilities()
+	bestP := -1.0
+	for z, p := range probs {
+		if p > bestP {
+			bestP = p
+			assign = uint64(z)
+		}
+	}
+	return dp.Diag[assign], assign
+}
+
+// NewEvaluator wraps the problem as a counted minimization objective
+// over the flat parameter vector, like Problem's evaluator.
+func (dp *DiagonalProblem) NewEvaluator(depth int) *DiagonalEvaluator {
+	if depth < 1 {
+		panic(fmt.Sprintf("qaoa: depth %d < 1", depth))
+	}
+	return &DiagonalEvaluator{Problem: dp, Depth: depth}
+}
+
+// DiagonalEvaluator counts QC calls for a DiagonalProblem.
+type DiagonalEvaluator struct {
+	Problem *DiagonalProblem
+	Depth   int
+	nfev    int
+}
+
+// Dim returns 2·depth.
+func (e *DiagonalEvaluator) Dim() int { return 2 * e.Depth }
+
+// NegExpectation is the counted minimization objective −⟨C⟩.
+func (e *DiagonalEvaluator) NegExpectation(x []float64) float64 {
+	if len(x) != e.Dim() {
+		panic(fmt.Sprintf("qaoa: parameter vector length %d != 2p = %d", len(x), e.Dim()))
+	}
+	e.nfev++
+	return -e.Problem.Expectation(FromVector(x))
+}
+
+// NFev returns the number of QC calls so far.
+func (e *DiagonalEvaluator) NFev() int { return e.nfev }
+
+// NumberPartitionProblem builds the classic number-partitioning
+// objective for the given positive weights: assign each number to one
+// of two sets to minimize the difference of sums. The cost to maximize
+// is C(z) = −(Σᵢ sᵢ·(−1)^{zᵢ})², so the optimum is 0 exactly when a
+// perfect partition exists.
+func NumberPartitionProblem(weights []float64) (*DiagonalProblem, error) {
+	n := len(weights)
+	if n < 2 {
+		return nil, fmt.Errorf("qaoa: number partitioning needs at least 2 numbers")
+	}
+	if n > quantum.MaxQubits {
+		return nil, fmt.Errorf("qaoa: %d numbers exceed the %d-qubit simulator limit", n, quantum.MaxQubits)
+	}
+	for _, w := range weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("qaoa: invalid weight %v", w)
+		}
+	}
+	diag := make([]float64, 1<<uint(n))
+	for z := range diag {
+		diff := 0.0
+		for i, w := range weights {
+			if (z>>uint(i))&1 == 0 {
+				diff += w
+			} else {
+				diff -= w
+			}
+		}
+		diag[z] = -(diff * diff)
+		if diag[z] == 0 {
+			diag[z] = 0 // normalize −0 so perfect partitions print as 0
+		}
+	}
+	return NewDiagonalProblem(n, diag)
+}
+
+// ConstrainedState runs the XY-ring-mixer variant of QAOA: starting
+// from the computational basis state |initial⟩, each stage applies the
+// phase separator exp(−iγ C) followed by a ring of XY(β) interactions
+// XY(0,1), XY(1,2), ..., XY(n−1,0). Because XY preserves Hamming
+// weight, the evolved state stays inside the weight sector of
+// |initial⟩ — the standard ansatz for cardinality-constrained
+// objectives ("select exactly k items"), one of the QAOA extensions the
+// paper's Sec. I positions against.
+func (dp *DiagonalProblem) ConstrainedState(pr Params, initial uint64) *quantum.State {
+	if err := pr.Validate(false); err != nil {
+		panic(err)
+	}
+	if initial >= uint64(len(dp.Diag)) {
+		panic(fmt.Sprintf("qaoa: initial state %d out of range", initial))
+	}
+	s := quantum.NewBasisState(dp.N, initial)
+	phases := make([]float64, len(dp.Diag))
+	for stage := 0; stage < pr.Depth(); stage++ {
+		gamma := pr.Gamma[stage]
+		for z := range phases {
+			phases[z] = -gamma * dp.Diag[z]
+		}
+		s.ApplyDiagonalPhase(phases)
+		for q := 0; q < dp.N; q++ {
+			s.XY(q, (q+1)%dp.N, pr.Beta[stage])
+		}
+	}
+	return s
+}
+
+// ConstrainedExpectation returns ⟨C⟩ under the XY-ring ansatz.
+func (dp *DiagonalProblem) ConstrainedExpectation(pr Params, initial uint64) float64 {
+	return dp.ConstrainedState(pr, initial).ExpectationDiagonal(dp.Diag)
+}

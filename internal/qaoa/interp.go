@@ -1,0 +1,37 @@
+package qaoa
+
+// Interpolate builds a depth-(p+1) initialization from a depth-p
+// optimum with the INTERP strategy of Zhou et al. (the paper's
+// reference [5]): each new stage angle is the linear interpolation of
+// its neighbours in the lower-depth schedule,
+//
+//	θ'_i = (i−1)/p · θ_{i−1} + (p−i+1)/p · θ_i ,  i = 1..p+1,
+//
+// with θ_0 = θ_{p+1} = 0. The optimal QAOA schedules behave like
+// discretized annealing paths, so the interpolated point lands in the
+// basin of the same (regular) optimum family at the next depth. The
+// dataset generator seeds one multistart leg with this point so that
+// best-of-starts selection produces the consistent parameter patterns
+// of the paper's Figs. 2-3.
+func Interpolate(pr Params) Params {
+	p := pr.Depth()
+	out := NewParams(p + 1)
+	out.Gamma = interpolateSchedule(pr.Gamma)
+	out.Beta = interpolateSchedule(pr.Beta)
+	return out
+}
+
+func interpolateSchedule(theta []float64) []float64 {
+	p := len(theta)
+	out := make([]float64, p+1)
+	at := func(i int) float64 { // θ_i with θ_0 = θ_{p+1} = 0
+		if i < 1 || i > p {
+			return 0
+		}
+		return theta[i-1]
+	}
+	for i := 1; i <= p+1; i++ {
+		out[i-1] = float64(i-1)/float64(p)*at(i-1) + float64(p-i+1)/float64(p)*at(i)
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+// Package qaoa implements the Quantum Approximate Optimization Algorithm
+// for graph MaxCut exactly as the paper's circuits do: a Hadamard layer,
+// then p stages each made of a phase-separation layer (CNOT·RZ(−γ)·CNOT
+// per edge, equivalently exp(iγ Z⊗Z/2)) and a mixing layer (RX(2β) per
+// qubit, i.e. exp(−iβ Σ Xi)).
+//
+// Parameter conventions follow Farhi et al. (the paper's reference [1]):
+// the stage angles are γi ∈ [0, 2π] and βi ∈ [0, π]. A parameter vector
+// is laid out as [γ1..γp, β1..βp].
+package qaoa
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"qaoaml/internal/graph"
+	"qaoaml/internal/quantum"
+)
+
+// Domain bounds from the paper (Sec. III-A).
+const (
+	GammaMax = 2 * math.Pi // γi ∈ [0, 2π]
+	BetaMax  = math.Pi     // βi ∈ [0, π]
+)
+
+// Params holds the 2p stage angles of a depth-p QAOA instance.
+type Params struct {
+	Gamma []float64 // phase-separation angles, one per stage
+	Beta  []float64 // mixing angles, one per stage
+}
+
+// NewParams allocates zeroed parameters for depth p.
+func NewParams(p int) Params {
+	return Params{Gamma: make([]float64, p), Beta: make([]float64, p)}
+}
+
+// Depth returns the number of stages p.
+func (pr Params) Depth() int { return len(pr.Gamma) }
+
+// Vector flattens the parameters to [γ1..γp, β1..βp].
+func (pr Params) Vector() []float64 {
+	p := pr.Depth()
+	v := make([]float64, 2*p)
+	copy(v, pr.Gamma)
+	copy(v[p:], pr.Beta)
+	return v
+}
+
+// FromVector splits a flat [γ1..γp, β1..βp] vector into Params.
+// It panics for odd-length input.
+func FromVector(v []float64) Params {
+	if len(v)%2 != 0 {
+		panic(fmt.Sprintf("qaoa: parameter vector of odd length %d", len(v)))
+	}
+	p := len(v) / 2
+	pr := NewParams(p)
+	copy(pr.Gamma, v[:p])
+	copy(pr.Beta, v[p:])
+	return pr
+}
+
+// Validate checks lengths and (optionally) the paper's domain bounds.
+func (pr Params) Validate(checkDomain bool) error {
+	if len(pr.Gamma) != len(pr.Beta) {
+		return fmt.Errorf("qaoa: gamma/beta length mismatch %d != %d", len(pr.Gamma), len(pr.Beta))
+	}
+	if !checkDomain {
+		return nil
+	}
+	for i, g := range pr.Gamma {
+		if g < 0 || g > GammaMax {
+			return fmt.Errorf("qaoa: gamma[%d] = %v out of [0, 2π]", i, g)
+		}
+	}
+	for i, b := range pr.Beta {
+		if b < 0 || b > BetaMax {
+			return fmt.Errorf("qaoa: beta[%d] = %v out of [0, π]", i, b)
+		}
+	}
+	return nil
+}
+
+// Problem is a (possibly weighted) MaxCut instance prepared for QAOA
+// evaluation: the graph, the cost diagonal C(z) (cut weight per
+// computational basis state), and the exact optimum used for
+// approximation ratios.
+type Problem struct {
+	Graph       *graph.Graph
+	CutTable    []float64
+	OptValue    float64 // exact MaxCut value (cut weight)
+	TotalWeight float64 // sum of all edge weights
+}
+
+// NewProblem precomputes the cost table and the exact MaxCut optimum.
+// It returns an error for graphs with no edges (AR undefined) or a
+// non-positive optimum (all-negative weights make AR meaningless).
+func NewProblem(g *graph.Graph) (*Problem, error) {
+	if g.NumEdges() == 0 {
+		return nil, fmt.Errorf("qaoa: graph with no edges has no MaxCut objective")
+	}
+	opt, _ := g.WeightedMaxCut()
+	if opt <= 0 {
+		return nil, fmt.Errorf("qaoa: MaxCut optimum %v is not positive; approximation ratio undefined", opt)
+	}
+	return &Problem{
+		Graph:       g,
+		CutTable:    g.WeightedCutTable(),
+		OptValue:    opt,
+		TotalWeight: g.TotalWeight(),
+	}, nil
+}
+
+// NumQubits returns the register width (one qubit per vertex).
+func (pb *Problem) NumQubits() int { return pb.Graph.N }
+
+// BuildCircuit constructs the explicit gate-level QAOA circuit for the
+// given parameters: H on all qubits, then per stage the CNOT·RZ(−γ)·CNOT
+// phase separator per edge followed by RX(2β) mixers. This is the
+// circuit of the paper's Fig. 1(a).
+func (pb *Problem) BuildCircuit(pr Params) *quantum.Circuit {
+	if err := pr.Validate(false); err != nil {
+		panic(err)
+	}
+	n := pb.NumQubits()
+	c := quantum.NewCircuit(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	edges := pb.Graph.Edges()
+	weights := pb.Graph.Weights()
+	for s := 0; s < pr.Depth(); s++ {
+		for i, e := range edges {
+			c.CNOT(e.U, e.V)
+			c.RZ(e.V, -pr.Gamma[s]*weights[i])
+			c.CNOT(e.U, e.V)
+		}
+		for q := 0; q < n; q++ {
+			c.RX(q, 2*pr.Beta[s])
+		}
+	}
+	return c
+}
+
+// State returns |ψ(γ, β)⟩ using the fast diagonal phase-separator path.
+// The result matches BuildCircuit(pr).Simulate() exactly, including
+// global phase.
+func (pb *Problem) State(pr Params) *quantum.State {
+	if err := pr.Validate(false); err != nil {
+		panic(err)
+	}
+	n := pb.NumQubits()
+	s := quantum.NewState(n)
+	for q := 0; q < n; q++ {
+		s.H(q)
+	}
+	for stage := 0; stage < pr.Depth(); stage++ {
+		pb.applyPhaseSeparator(s, pr.Gamma[stage], pb.TotalWeight)
+		for q := 0; q < n; q++ {
+			s.RX(q, 2*pr.Beta[stage])
+		}
+	}
+	return s
+}
+
+// applyPhaseSeparator multiplies amplitude z by exp(iγ(W − 2C(z))/2)
+// where W is the total edge weight, which is exactly the product over
+// edges of the CNOT·RZ(−γ·w)·CNOT sequence (each edge contributes
+// exp(iγw/2) when uncut and exp(−iγw/2) when cut).
+func (pb *Problem) applyPhaseSeparator(s *quantum.State, gamma, m float64) {
+	dim := s.Dim()
+	phases := make([]float64, dim)
+	for z := 0; z < dim; z++ {
+		phases[z] = gamma * (m - 2*pb.CutTable[z]) / 2
+	}
+	s.ApplyDiagonalPhase(phases)
+}
+
+// Expectation returns ⟨ψ(γ, β)|C|ψ(γ, β)⟩, the expected cut size.
+func (pb *Problem) Expectation(pr Params) float64 {
+	return pb.State(pr).ExpectationDiagonal(pb.CutTable)
+}
+
+// ApproximationRatio returns ⟨C⟩ / C_opt for the given parameters.
+func (pb *Problem) ApproximationRatio(pr Params) float64 {
+	return pb.Expectation(pr) / pb.OptValue
+}
+
+// BestSampledCut returns the most probable basis state's cut weight and
+// the assignment, i.e. the solution a user would read out after
+// optimization.
+func (pb *Problem) BestSampledCut(pr Params) (cut float64, assign uint64) {
+	probs := pb.State(pr).Probabilities()
+	bestP := -1.0
+	for z, p := range probs {
+		if p > bestP {
+			bestP = p
+			assign = uint64(z)
+		}
+	}
+	return pb.CutTable[assign], assign
+}
+
+// Evaluator wraps a Problem as a minimization objective over the flat
+// parameter vector and counts quantum-computer calls (the paper's
+// "function calls" / "QC calls" / loop iterations).
+type Evaluator struct {
+	Problem *Problem
+	Depth   int
+	nfev    int
+}
+
+// NewEvaluator returns an evaluator for a fixed circuit depth p ≥ 1.
+func NewEvaluator(pb *Problem, p int) *Evaluator {
+	if p < 1 {
+		panic(fmt.Sprintf("qaoa: depth %d < 1", p))
+	}
+	return &Evaluator{Problem: pb, Depth: p}
+}
+
+// Dim returns the number of optimization variables, 2p.
+func (e *Evaluator) Dim() int { return 2 * e.Depth }
+
+// NegExpectation is the minimization objective −⟨C⟩ over the flat
+// parameter vector [γ1..γp, β1..βp]. Each call counts one QC call.
+func (e *Evaluator) NegExpectation(x []float64) float64 {
+	if len(x) != e.Dim() {
+		panic(fmt.Sprintf("qaoa: parameter vector length %d != 2p = %d", len(x), e.Dim()))
+	}
+	e.nfev++
+	return -e.Problem.Expectation(FromVector(x))
+}
+
+// NFev returns the number of QC calls so far.
+func (e *Evaluator) NFev() int { return e.nfev }
+
+// ResetNFev zeroes the QC-call counter.
+func (e *Evaluator) ResetNFev() { e.nfev = 0 }
+
+// UniformState returns the p = 0 state (just the Hadamard layer), whose
+// expectation is m/2 — a useful baseline in tests.
+func (pb *Problem) UniformState() *quantum.State {
+	s := quantum.NewState(pb.NumQubits())
+	for q := 0; q < pb.NumQubits(); q++ {
+		s.H(q)
+	}
+	return s
+}
+
+// GlobalPhaseReference exposes the phase convention used by the fast
+// path for verification: for a depth-1 circuit with β = 0 the amplitude
+// of basis state z is exp(iγ(m−2C(z))/2)/√dim.
+func (pb *Problem) GlobalPhaseReference(gamma float64, z uint64) complex128 {
+	dim := float64(int(1) << uint(pb.NumQubits()))
+	return cmplx.Exp(complex(0, gamma*(pb.TotalWeight-2*pb.CutTable[z])/2)) * complex(1/math.Sqrt(dim), 0)
+}
+
+// NoisyExpectation estimates ⟨C⟩ for the explicit gate-level circuit
+// run under a depolarizing noise model, averaged over Monte-Carlo
+// trajectories. The paper evaluates noiselessly (QuTiP); this is the
+// NISQ-hardware substitute — see quantum.NoiseModel.
+func (pb *Problem) NoisyExpectation(pr Params, nm quantum.NoiseModel, trajectories int, rng *rand.Rand) float64 {
+	c := pb.BuildCircuit(pr)
+	return c.NoisyExpectationDiagonal(pb.CutTable, nm, trajectories, rng)
+}

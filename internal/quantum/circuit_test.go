@@ -1,0 +1,207 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCircuitBuildAndRun(t *testing.T) {
+	c := NewCircuit(2).H(0).CNOT(0, 1)
+	s := c.Simulate()
+	if math.Abs(s.Probability(0b00)-0.5) > 1e-12 || math.Abs(s.Probability(0b11)-0.5) > 1e-12 {
+		t.Errorf("Bell via circuit: %v", s.Probabilities())
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCircuitMatchesDirectGates(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := NewCircuit(3)
+	direct := NewState(3)
+	for i := 0; i < 30; i++ {
+		theta := rng.Float64() * 2 * math.Pi
+		q := rng.Intn(3)
+		q2 := (q + 1 + rng.Intn(2)) % 3
+		switch rng.Intn(12) {
+		case 0:
+			c.H(q)
+			direct.H(q)
+		case 1:
+			c.X(q)
+			direct.X(q)
+		case 2:
+			c.Y(q)
+			direct.Y(q)
+		case 3:
+			c.Z(q)
+			direct.Z(q)
+		case 4:
+			c.RX(q, theta)
+			direct.RX(q, theta)
+		case 5:
+			c.RY(q, theta)
+			direct.RY(q, theta)
+		case 6:
+			c.RZ(q, theta)
+			direct.RZ(q, theta)
+		case 7:
+			c.Phase(q, theta)
+			direct.Phase(q, theta)
+		case 8:
+			c.CNOT(q, q2)
+			direct.CNOT(q, q2)
+		case 9:
+			c.CZ(q, q2)
+			direct.CZ(q, q2)
+		case 10:
+			c.SWAP(q, q2)
+			direct.SWAP(q, q2)
+		case 11:
+			c.ZZ(q, q2, theta)
+			direct.ZZ(q, q2, theta)
+		}
+	}
+	if got := c.Simulate(); !got.Equal(direct, 1e-10) {
+		t.Error("circuit result differs from direct gate application")
+	}
+}
+
+func TestCircuitDepth(t *testing.T) {
+	// H on all 3 qubits: parallel → depth 1.
+	c := NewCircuit(3).H(0).H(1).H(2)
+	if got := c.Depth(); got != 1 {
+		t.Errorf("parallel depth = %d, want 1", got)
+	}
+	// Serial chain on one qubit → depth 3.
+	c2 := NewCircuit(2).H(0).X(0).Z(0)
+	if got := c2.Depth(); got != 3 {
+		t.Errorf("serial depth = %d, want 3", got)
+	}
+	// CNOT forces both qubits into the same layer.
+	c3 := NewCircuit(2).H(0).CNOT(0, 1).H(1)
+	if got := c3.Depth(); got != 3 {
+		t.Errorf("cnot depth = %d, want 3", got)
+	}
+	if NewCircuit(1).Depth() != 0 {
+		t.Error("empty circuit depth != 0")
+	}
+}
+
+func TestCircuitCountKind(t *testing.T) {
+	c := NewCircuit(2).H(0).H(1).CNOT(0, 1).RZ(1, 0.5)
+	if c.CountKind(GateH) != 2 || c.CountKind(GateCNOT) != 1 || c.CountKind(GateRX) != 0 {
+		t.Error("CountKind wrong")
+	}
+}
+
+func TestCircuitOpsCopy(t *testing.T) {
+	c := NewCircuit(1).H(0)
+	ops := c.Ops()
+	ops[0].Kind = GateX
+	if c.Ops()[0].Kind != GateH {
+		t.Error("Ops returned shared storage")
+	}
+}
+
+func TestCircuitApplyWidthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCircuit(2).Apply(NewState(3))
+}
+
+func TestCircuitAddValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range qubit")
+		}
+	}()
+	NewCircuit(2).H(5)
+}
+
+func TestOpAndCircuitString(t *testing.T) {
+	c := NewCircuit(2).RZ(0, math.Pi/2).CNOT(0, 1)
+	s := c.String()
+	if !strings.Contains(s, "RZ(") || !strings.Contains(s, "CNOT q0,q1") {
+		t.Errorf("String = %q", s)
+	}
+	if GateKind(99).String() == "" {
+		t.Error("unknown gate kind string empty")
+	}
+}
+
+func TestCircuitUnitarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := NewCircuit(4)
+	for i := 0; i < 50; i++ {
+		q := rng.Intn(4)
+		c.RX(q, rng.Float64())
+		c.ZZ(q, (q+1)%4, rng.Float64())
+	}
+	s := c.Simulate()
+	if math.Abs(s.Norm()-1) > 1e-10 {
+		t.Errorf("norm after 100 gates = %v", s.Norm())
+	}
+}
+
+func TestCircuitAppend(t *testing.T) {
+	a := NewCircuit(2).H(0)
+	b := NewCircuit(2).CNOT(0, 1)
+	a.Append(b)
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	s := a.Simulate()
+	if math.Abs(s.Probability(0b00)-0.5) > 1e-12 || math.Abs(s.Probability(0b11)-0.5) > 1e-12 {
+		t.Error("appended circuit wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch accepted")
+		}
+	}()
+	a.Append(NewCircuit(3))
+}
+
+func TestCircuitInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	c := NewCircuit(3)
+	for i := 0; i < 40; i++ {
+		q := rng.Intn(3)
+		q2 := (q + 1 + rng.Intn(2)) % 3
+		theta := rng.Float64() * 2 * math.Pi
+		switch rng.Intn(7) {
+		case 0:
+			c.H(q)
+		case 1:
+			c.RX(q, theta)
+		case 2:
+			c.RZ(q, theta)
+		case 3:
+			c.CNOT(q, q2)
+		case 4:
+			c.ZZ(q, q2, theta)
+		case 5:
+			c.Phase(q, theta)
+		case 6:
+			c.SWAP(q, q2)
+		}
+	}
+	s := randomState(rng, 3)
+	orig := s.Clone()
+	c.Apply(s)
+	c.Inverse().Apply(s)
+	if !s.Equal(orig, 1e-9) {
+		t.Error("c · c⁻¹ != identity")
+	}
+	// Inverse must not mutate the original circuit.
+	if c.Len() != 40 {
+		t.Errorf("Inverse changed original circuit length to %d", c.Len())
+	}
+}

@@ -1,0 +1,127 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNoiseModelValidate(t *testing.T) {
+	if err := (NoiseModel{P1: 0.01, P2: 0.05}).Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	for _, nm := range []NoiseModel{{P1: -0.1}, {P2: 1.5}} {
+		if err := nm.Validate(); err == nil {
+			t.Errorf("invalid model %+v accepted", nm)
+		}
+	}
+	if !(NoiseModel{}).Noiseless() || (NoiseModel{P1: 0.1}).Noiseless() {
+		t.Error("Noiseless wrong")
+	}
+}
+
+func TestApplyNoisyZeroNoiseMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewCircuit(3).H(0).CNOT(0, 1).RX(2, 0.7).ZZ(1, 2, 0.4)
+	exact := c.Simulate()
+	noisy := NewState(3)
+	c.ApplyNoisy(noisy, NoiseModel{}, rng)
+	if !noisy.Equal(exact, 1e-12) {
+		t.Error("zero-noise trajectory differs from exact simulation")
+	}
+}
+
+func TestNoisyTrajectoryStaysNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewCircuit(4)
+	for i := 0; i < 30; i++ {
+		c.H(i % 4)
+		c.CNOT(i%4, (i+1)%4)
+	}
+	s := NewState(4)
+	c.ApplyNoisy(s, NoiseModel{P1: 0.3, P2: 0.3}, rng)
+	if math.Abs(s.Norm()-1) > 1e-10 {
+		t.Errorf("noisy trajectory norm = %v", s.Norm())
+	}
+}
+
+func TestNoiseDegradesBellFidelity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewCircuit(2).H(0).CNOT(0, 1)
+	ideal := c.Simulate()
+	nm := NoiseModel{P1: 0.2, P2: 0.2}
+	const trials = 400
+	avgFid := 0.0
+	for k := 0; k < trials; k++ {
+		s := NewState(2)
+		c.ApplyNoisy(s, nm, rng)
+		avgFid += s.Fidelity(ideal) / trials
+	}
+	if avgFid > 0.95 {
+		t.Errorf("average fidelity %v too high for 20%% depolarizing noise", avgFid)
+	}
+	if avgFid < 0.2 {
+		t.Errorf("average fidelity %v implausibly low", avgFid)
+	}
+}
+
+func TestNoisyExpectationConvergesToUniform(t *testing.T) {
+	// Under heavy depolarizing noise the output approaches the maximally
+	// mixed state; a diagonal observable's expectation approaches its
+	// unweighted mean.
+	rng := rand.New(rand.NewSource(4))
+	c := NewCircuit(3)
+	for layer := 0; layer < 6; layer++ {
+		for q := 0; q < 3; q++ {
+			c.H(q)
+			c.CNOT(q, (q+1)%3)
+		}
+	}
+	diag := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	got := c.NoisyExpectationDiagonal(diag, NoiseModel{P1: 0.5, P2: 0.5}, 600, rng)
+	if math.Abs(got-3.5) > 0.4 {
+		t.Errorf("heavy-noise expectation = %v, want ~3.5", got)
+	}
+}
+
+func TestNoisyExpectationNoiselessShortcut(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewCircuit(2).H(0).CNOT(0, 1)
+	diag := []float64{0, 1, 1, 0}
+	exact := c.Simulate().ExpectationDiagonal(diag)
+	got := c.NoisyExpectationDiagonal(diag, NoiseModel{}, 3, rng)
+	if math.Abs(got-exact) > 1e-12 {
+		t.Errorf("noiseless shortcut = %v, want %v", got, exact)
+	}
+}
+
+func TestNoisyExpectationDeterministicWithSeed(t *testing.T) {
+	c := NewCircuit(2).H(0).CNOT(0, 1)
+	diag := []float64{0, 1, 1, 0}
+	nm := NoiseModel{P1: 0.1, P2: 0.1}
+	a := c.NoisyExpectationDiagonal(diag, nm, 50, rand.New(rand.NewSource(7)))
+	b := c.NoisyExpectationDiagonal(diag, nm, 50, rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Error("same seed produced different noisy estimates")
+	}
+}
+
+func TestNoisyExpectationPanics(t *testing.T) {
+	c := NewCircuit(1).H(0)
+	for i, f := range []func(){
+		func() {
+			c.NoisyExpectationDiagonal([]float64{0, 1}, NoiseModel{P1: 0.1}, 0, rand.New(rand.NewSource(0)))
+		},
+		func() { c.ApplyNoisy(NewState(2), NoiseModel{}, rand.New(rand.NewSource(0))) },
+		func() { c.ApplyNoisy(NewState(1), NoiseModel{P1: 2}, rand.New(rand.NewSource(0))) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

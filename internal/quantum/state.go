@@ -1,0 +1,362 @@
+// Package quantum implements the exact dense state-vector simulator the
+// reproduction uses in place of QuTiP. A State holds the 2^n complex
+// amplitudes of an n-qubit register; gates are applied in place. Qubit 0
+// is the least-significant bit of the basis-state index.
+//
+// The simulator is exact (no noise model): the paper's evaluation runs
+// on a noiseless QuTiP simulation, so the optimization landscapes seen
+// by the classical optimizers here are identical in kind.
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// MaxQubits bounds state allocation (2^24 amplitudes ≈ 256 MiB).
+const MaxQubits = 24
+
+// State is the dense state vector of an n-qubit register.
+type State struct {
+	n    int
+	amps []complex128
+}
+
+// NewState returns the n-qubit computational basis state |0...0⟩.
+func NewState(n int) *State {
+	if n < 1 || n > MaxQubits {
+		panic(fmt.Sprintf("quantum: qubit count %d out of [1,%d]", n, MaxQubits))
+	}
+	s := &State{n: n, amps: make([]complex128, 1<<uint(n))}
+	s.amps[0] = 1
+	return s
+}
+
+// NewBasisState returns the computational basis state |index⟩.
+func NewBasisState(n int, index uint64) *State {
+	s := NewState(n)
+	if index >= uint64(len(s.amps)) {
+		panic(fmt.Sprintf("quantum: basis index %d out of range for %d qubits", index, n))
+	}
+	s.amps[0] = 0
+	s.amps[index] = 1
+	return s
+}
+
+// NumQubits returns the register width.
+func (s *State) NumQubits() int { return s.n }
+
+// Dim returns the Hilbert-space dimension 2^n.
+func (s *State) Dim() int { return len(s.amps) }
+
+// Amplitude returns the amplitude of basis state |index⟩.
+func (s *State) Amplitude(index uint64) complex128 { return s.amps[index] }
+
+// Clone returns a deep copy of s.
+func (s *State) Clone() *State {
+	c := &State{n: s.n, amps: make([]complex128, len(s.amps))}
+	copy(c.amps, s.amps)
+	return c
+}
+
+// Norm returns the 2-norm of the state vector (1 for a valid state).
+func (s *State) Norm() float64 {
+	t := 0.0
+	for _, a := range s.amps {
+		t += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(t)
+}
+
+// Normalize rescales the state to unit norm. It panics on a zero vector.
+func (s *State) Normalize() {
+	n := s.Norm()
+	if n == 0 {
+		panic("quantum: cannot normalize zero state")
+	}
+	inv := complex(1/n, 0)
+	for i := range s.amps {
+		s.amps[i] *= inv
+	}
+}
+
+// Probability returns |⟨index|ψ⟩|².
+func (s *State) Probability(index uint64) float64 {
+	a := s.amps[index]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Probabilities returns the full measurement distribution over the
+// computational basis.
+func (s *State) Probabilities() []float64 {
+	p := make([]float64, len(s.amps))
+	for i, a := range s.amps {
+		p[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return p
+}
+
+// InnerProduct returns ⟨s|t⟩. It panics if widths differ.
+func (s *State) InnerProduct(t *State) complex128 {
+	if s.n != t.n {
+		panic("quantum: qubit count mismatch in InnerProduct")
+	}
+	var acc complex128
+	for i := range s.amps {
+		acc += cmplx.Conj(s.amps[i]) * t.amps[i]
+	}
+	return acc
+}
+
+// Fidelity returns |⟨s|t⟩|².
+func (s *State) Fidelity(t *State) float64 {
+	ip := s.InnerProduct(t)
+	return real(ip)*real(ip) + imag(ip)*imag(ip)
+}
+
+// ExpectationDiagonal returns ⟨ψ|D|ψ⟩ for a diagonal observable D given
+// by its diagonal in the computational basis. This is how the QAOA
+// MaxCut cost Hamiltonian is evaluated. It panics on a length mismatch.
+func (s *State) ExpectationDiagonal(diag []float64) float64 {
+	if len(diag) != len(s.amps) {
+		panic(fmt.Sprintf("quantum: diagonal length %d != dim %d", len(diag), len(s.amps)))
+	}
+	e := 0.0
+	for i, a := range s.amps {
+		e += (real(a)*real(a) + imag(a)*imag(a)) * diag[i]
+	}
+	return e
+}
+
+// Sample draws one computational-basis measurement outcome.
+func (s *State) Sample(rng *rand.Rand) uint64 {
+	r := rng.Float64()
+	acc := 0.0
+	for i, a := range s.amps {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		if r < acc {
+			return uint64(i)
+		}
+	}
+	return uint64(len(s.amps) - 1) // roundoff: return last state
+}
+
+// SampleCounts draws shots measurements and returns outcome counts.
+func (s *State) SampleCounts(shots int, rng *rand.Rand) map[uint64]int {
+	counts := make(map[uint64]int)
+	for i := 0; i < shots; i++ {
+		counts[s.Sample(rng)]++
+	}
+	return counts
+}
+
+// --- single-qubit gates ---
+
+// Apply1Q applies the 2×2 unitary [[u00,u01],[u10,u11]] to qubit q.
+func (s *State) Apply1Q(q int, u00, u01, u10, u11 complex128) {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	dim := len(s.amps)
+	for base := 0; base < dim; base += bit << 1 {
+		for i := base; i < base+bit; i++ {
+			j := i | bit
+			a, b := s.amps[i], s.amps[j]
+			s.amps[i] = u00*a + u01*b
+			s.amps[j] = u10*a + u11*b
+		}
+	}
+}
+
+// H applies the Hadamard gate to qubit q.
+func (s *State) H(q int) {
+	h := complex(1/math.Sqrt2, 0)
+	s.Apply1Q(q, h, h, h, -h)
+}
+
+// X applies the Pauli-X gate to qubit q.
+func (s *State) X(q int) { s.Apply1Q(q, 0, 1, 1, 0) }
+
+// Y applies the Pauli-Y gate to qubit q.
+func (s *State) Y(q int) { s.Apply1Q(q, 0, complex(0, -1), complex(0, 1), 0) }
+
+// Z applies the Pauli-Z gate to qubit q.
+func (s *State) Z(q int) { s.Apply1Q(q, 1, 0, 0, -1) }
+
+// RX applies RX(θ) = exp(-iθX/2) to qubit q.
+func (s *State) RX(q int, theta float64) {
+	c := complex(math.Cos(theta/2), 0)
+	ms := complex(0, -math.Sin(theta/2))
+	s.Apply1Q(q, c, ms, ms, c)
+}
+
+// RY applies RY(θ) = exp(-iθY/2) to qubit q.
+func (s *State) RY(q int, theta float64) {
+	c := complex(math.Cos(theta/2), 0)
+	sn := complex(math.Sin(theta/2), 0)
+	s.Apply1Q(q, c, -sn, sn, c)
+}
+
+// RZ applies RZ(θ) = exp(-iθZ/2) = diag(e^{-iθ/2}, e^{iθ/2}) to qubit q.
+func (s *State) RZ(q int, theta float64) {
+	s.checkQubit(q)
+	p0 := cmplx.Exp(complex(0, -theta/2))
+	p1 := cmplx.Exp(complex(0, theta/2))
+	bit := 1 << uint(q)
+	for i := range s.amps {
+		if i&bit == 0 {
+			s.amps[i] *= p0
+		} else {
+			s.amps[i] *= p1
+		}
+	}
+}
+
+// Phase applies diag(1, e^{iφ}) to qubit q.
+func (s *State) Phase(q int, phi float64) {
+	s.checkQubit(q)
+	p := cmplx.Exp(complex(0, phi))
+	bit := 1 << uint(q)
+	for i := range s.amps {
+		if i&bit != 0 {
+			s.amps[i] *= p
+		}
+	}
+}
+
+// --- two-qubit gates ---
+
+// CNOT applies a controlled-X with the given control and target qubits.
+func (s *State) CNOT(control, target int) {
+	s.checkQubit(control)
+	s.checkQubit(target)
+	if control == target {
+		panic("quantum: CNOT control == target")
+	}
+	cbit := 1 << uint(control)
+	tbit := 1 << uint(target)
+	for i := range s.amps {
+		if i&cbit != 0 && i&tbit == 0 {
+			j := i | tbit
+			s.amps[i], s.amps[j] = s.amps[j], s.amps[i]
+		}
+	}
+}
+
+// CZ applies a controlled-Z between qubits a and b (symmetric).
+func (s *State) CZ(a, b int) {
+	s.checkQubit(a)
+	s.checkQubit(b)
+	if a == b {
+		panic("quantum: CZ on identical qubits")
+	}
+	abit, bbit := 1<<uint(a), 1<<uint(b)
+	for i := range s.amps {
+		if i&abit != 0 && i&bbit != 0 {
+			s.amps[i] = -s.amps[i]
+		}
+	}
+}
+
+// SWAP exchanges qubits a and b.
+func (s *State) SWAP(a, b int) {
+	s.checkQubit(a)
+	s.checkQubit(b)
+	if a == b {
+		return
+	}
+	abit, bbit := 1<<uint(a), 1<<uint(b)
+	for i := range s.amps {
+		// Act once per pair: pick representatives with a-bit set, b-bit clear.
+		if i&abit != 0 && i&bbit == 0 {
+			j := i&^abit | bbit
+			s.amps[i], s.amps[j] = s.amps[j], s.amps[i]
+		}
+	}
+}
+
+// XY applies exp(−iθ(X⊗X + Y⊗Y)/2) between qubits a and b: a rotation
+// within the span of |01⟩ and |10⟩ that leaves |00⟩ and |11⟩ fixed. It
+// preserves Hamming weight, which makes it the building block for
+// constrained QAOA mixers (ring/XY mixers).
+func (s *State) XY(a, b int, theta float64) {
+	s.checkQubit(a)
+	s.checkQubit(b)
+	if a == b {
+		panic("quantum: XY on identical qubits")
+	}
+	c := complex(math.Cos(theta), 0)
+	ms := complex(0, -math.Sin(theta))
+	abit, bbit := 1<<uint(a), 1<<uint(b)
+	for i := range s.amps {
+		// Act once per {|01⟩, |10⟩} pair: representative has a set, b clear.
+		if i&abit != 0 && i&bbit == 0 {
+			j := i&^abit | bbit
+			ai, aj := s.amps[i], s.amps[j]
+			s.amps[i] = c*ai + ms*aj
+			s.amps[j] = ms*ai + c*aj
+		}
+	}
+}
+
+// ZZ applies exp(-iθ Z⊗Z/2) between qubits a and b. It equals the gate
+// sequence CNOT(a,b)·RZ_b(θ)·CNOT(a,b) and is the fast path for QAOA
+// phase separators.
+func (s *State) ZZ(a, b int, theta float64) {
+	s.checkQubit(a)
+	s.checkQubit(b)
+	if a == b {
+		panic("quantum: ZZ on identical qubits")
+	}
+	pSame := cmplx.Exp(complex(0, -theta/2)) // Z⊗Z eigenvalue +1
+	pDiff := cmplx.Exp(complex(0, theta/2))  // Z⊗Z eigenvalue -1
+	abit, bbit := 1<<uint(a), 1<<uint(b)
+	for i := range s.amps {
+		if (i&abit != 0) == (i&bbit != 0) {
+			s.amps[i] *= pSame
+		} else {
+			s.amps[i] *= pDiff
+		}
+	}
+}
+
+// ApplyDiagonalPhase multiplies amplitude z by e^{i·phases[z]}.
+// It panics on a length mismatch.
+func (s *State) ApplyDiagonalPhase(phases []float64) {
+	if len(phases) != len(s.amps) {
+		panic("quantum: phase table length mismatch")
+	}
+	for i := range s.amps {
+		s.amps[i] *= cmplx.Exp(complex(0, phases[i]))
+	}
+}
+
+// Equal reports whether the two states agree amplitude-wise within tol
+// (including global phase).
+func (s *State) Equal(t *State, tol float64) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.amps {
+		if cmplx.Abs(s.amps[i]-t.amps[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualUpToGlobalPhase reports whether the states describe the same ray,
+// i.e. fidelity within tol of 1.
+func (s *State) EqualUpToGlobalPhase(t *State, tol float64) bool {
+	if s.n != t.n {
+		return false
+	}
+	return math.Abs(s.Fidelity(t)-1) <= tol
+}
+
+func (s *State) checkQubit(q int) {
+	if q < 0 || q >= s.n {
+		panic(fmt.Sprintf("quantum: qubit %d out of range [0,%d)", q, s.n))
+	}
+}

@@ -1,0 +1,121 @@
+package quantum
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestXYOnBasisStates(t *testing.T) {
+	// |00⟩ and |11⟩ are fixed points.
+	for _, z := range []uint64{0b00, 0b11} {
+		s := NewBasisState(2, z)
+		s.XY(0, 1, 0.7)
+		if math.Abs(s.Probability(z)-1) > 1e-12 {
+			t.Errorf("XY moved fixed point |%02b⟩", z)
+		}
+	}
+	// θ = π/2 swaps |01⟩ → −i|10⟩.
+	s := NewBasisState(2, 0b01)
+	s.XY(0, 1, math.Pi/2)
+	want := complex(0, -1)
+	if cmplx.Abs(s.Amplitude(0b10)-want) > 1e-12 {
+		t.Errorf("XY(π/2)|01⟩: amp(10) = %v, want %v", s.Amplitude(0b10), want)
+	}
+}
+
+// XY preserves Hamming weight: the probability mass within each weight
+// sector is invariant — the defining property of constrained mixers.
+func TestXYPreservesHammingWeight(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomState(rng, 4)
+		before := weightDistribution(s)
+		for k := 0; k < 6; k++ {
+			a, b := rng.Intn(4), rng.Intn(4)
+			if a == b {
+				continue
+			}
+			s.XY(a, b, rng.Float64()*2*math.Pi)
+		}
+		after := weightDistribution(s)
+		for w := range before {
+			if math.Abs(before[w]-after[w]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func weightDistribution(s *State) []float64 {
+	out := make([]float64, s.NumQubits()+1)
+	for z, p := range s.Probabilities() {
+		out[bits.OnesCount64(uint64(z))] += p
+	}
+	return out
+}
+
+func TestXYUnitaryAndAdditive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := randomState(rng, 3)
+	ref := s.Clone()
+	s.XY(0, 2, 0.4)
+	if math.Abs(s.Norm()-1) > 1e-12 {
+		t.Errorf("norm = %v", s.Norm())
+	}
+	s.XY(0, 2, 0.3)
+	ref.XY(0, 2, 0.7)
+	if !s.Equal(ref, 1e-10) {
+		t.Error("XY angles not additive")
+	}
+}
+
+func TestXYSymmetricInQubits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomState(rng, 3)
+	b := a.Clone()
+	a.XY(0, 2, 1.1)
+	b.XY(2, 0, 1.1)
+	if !a.Equal(b, 1e-12) {
+		t.Error("XY(a,b) != XY(b,a)")
+	}
+}
+
+func TestXYCircuitIR(t *testing.T) {
+	c := NewCircuit(2).XY(0, 1, 0.9)
+	direct := NewState(2)
+	direct.H(0)
+	c2 := NewCircuit(2).H(0).XY(0, 1, 0.9)
+	direct.XY(0, 1, 0.9)
+	if !c2.Simulate().Equal(direct, 1e-12) {
+		t.Error("circuit XY differs from direct application")
+	}
+	if got := c.Ops()[0].String(); got != "XY(0.9) q0,q1" {
+		t.Errorf("op string = %q", got)
+	}
+	// Inverse support.
+	rng := rand.New(rand.NewSource(4))
+	s := randomState(rng, 2)
+	orig := s.Clone()
+	c.Apply(s)
+	c.Inverse().Apply(s)
+	if !s.Equal(orig, 1e-10) {
+		t.Error("XY circuit inverse broken")
+	}
+}
+
+func TestXYPanicsOnSameQubit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewState(2).XY(1, 1, 0.5)
+}

@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := PopVariance(xs); !almostEq(got, 4, 1e-12) {
+		t.Errorf("PopVariance = %v, want 4", got)
+	}
+	if got := Variance(xs); !almostEq(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := StdDev(xs); !almostEq(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single sample should be NaN")
+	}
+}
+
+func TestCovariancePearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10} // perfectly correlated
+	if got := Pearson(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almostEq(got, -1, 1e-12) {
+		t.Errorf("Pearson = %v, want -1", got)
+	}
+	if !math.IsNaN(Pearson(xs, []float64{3, 3, 3, 3, 3})) {
+		t.Error("Pearson with constant series should be NaN")
+	}
+}
+
+func TestPearsonInvariantUnderAffine(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r1 := Pearson(xs, ys)
+		// Affine transform with positive scale must preserve r.
+		xs2 := make([]float64, n)
+		for i := range xs {
+			xs2[i] = 3*xs[i] + 7
+		}
+		r2 := Pearson(xs2, ys)
+		return almostEq(r1, r2, 1e-9) && r1 >= -1-1e-12 && r1 <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestPercentileMedian(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if got := Percentile(xs, 0); got != 15 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Median(xs); got != 35 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Percentile([]float64{1, 2}, 50); got != 1.5 {
+		t.Errorf("interpolated median = %v", got)
+	}
+	if got := Percentile([]float64{9}, 73); got != 9 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_ = Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty Summary string")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges, counts := Histogram([]float64{0, 0.5, 1, 1.5, 2}, 2)
+	if len(edges) != 3 || len(counts) != 2 {
+		t.Fatalf("edges/counts lengths = %d/%d", len(edges), len(counts))
+	}
+	if counts[0]+counts[1] != 5 {
+		t.Errorf("histogram loses samples: %v", counts)
+	}
+	if counts[0] != 2 || counts[1] != 3 { // [0,1): {0,0.5}; [1,2]: {1,1.5,2}
+		t.Errorf("counts = %v, want [2 3]", counts)
+	}
+}
+
+func TestHistogramConstantInput(t *testing.T) {
+	_, counts := Histogram([]float64{4, 4, 4}, 3)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("constant-input histogram total = %d", total)
+	}
+}
+
+func TestHistogramPropertyConservesMass(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		_, counts := Histogram(xs, 1+rng.Intn(10))
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAbsPercentError(t *testing.T) {
+	actual := []float64{1, 2, 4}
+	pred := []float64{1.1, 1.8, 4}
+	mean, std := MeanAbsPercentError(actual, pred)
+	// errors: 10%, 10%, 0% → mean 20/3
+	if !almostEq(mean, 20.0/3, 1e-9) {
+		t.Errorf("mean = %v", mean)
+	}
+	if std <= 0 {
+		t.Errorf("std = %v", std)
+	}
+	// Zero actuals are skipped.
+	m2, _ := MeanAbsPercentError([]float64{0, 1}, []float64{5, 1.2})
+	if !almostEq(m2, 20, 1e-9) {
+		t.Errorf("zero-skip mean = %v", m2)
+	}
+	if m3, _ := MeanAbsPercentError([]float64{0}, []float64{1}); !math.IsNaN(m3) {
+		t.Error("all-zero actuals should give NaN")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	// Monotone but nonlinear: Spearman 1, Pearson < 1.
+	ys := []float64{1, 8, 27, 64, 125}
+	if got := Spearman(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Spearman = %v, want 1", got)
+	}
+	if p := Pearson(xs, ys); p >= 1-1e-9 {
+		t.Errorf("Pearson = %v, should be < 1 for cubic", p)
+	}
+	desc := []float64{10, 8, 5, 3, 1}
+	if got := Spearman(xs, desc); !almostEq(got, -1, 1e-12) {
+		t.Errorf("Spearman = %v, want -1", got)
+	}
+	if !math.IsNaN(Spearman(xs, []float64{2, 2, 2, 2, 2})) {
+		t.Error("constant series should give NaN")
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// With ties the rank transform uses average ranks.
+	xs := []float64{1, 2, 2, 3}
+	r := ranks(xs)
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !almostEq(r[i], want[i], 1e-12) {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}
