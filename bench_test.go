@@ -438,6 +438,103 @@ func BenchmarkNoisyExpectation(b *testing.B) {
 	}
 }
 
+// --- evaluation-engine kernel benches ---
+
+// BenchmarkRXAll compares the fused all-qubit mixing layer against the
+// equivalent per-qubit RX loop it replaces.
+func BenchmarkRXAll(b *testing.B) {
+	b.Run("fused", func(b *testing.B) {
+		s := quantum.NewUniformState(8)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.RXAll(0.6)
+		}
+	})
+	b.Run("perqubit", func(b *testing.B) {
+		s := quantum.NewUniformState(8)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for q := 0; q < 8; q++ {
+				s.RX(q, 0.6)
+			}
+		}
+	})
+}
+
+// BenchmarkNegExpectation measures the evaluator hot path the optimizers
+// drive — one depth-3 objective call on a warm workspace (0 allocs).
+func BenchmarkNegExpectation(b *testing.B) {
+	pb := benchProblem(b)
+	ev := qaoa.NewEvaluator(pb, 3)
+	x := []float64{0.4, 0.7, 0.9, 0.5, 0.3, 0.2}
+	_ = ev.NegExpectation(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ev.NegExpectation(x)
+	}
+}
+
+// BenchmarkBatchEval measures worker-pool throughput on a 12-point batch
+// (the size of one depth-3 central-difference gradient stencil).
+func BenchmarkBatchEval(b *testing.B) {
+	pb := benchProblem(b)
+	be := qaoa.NewBatchEvaluator(pb, 3, 0)
+	rng := rand.New(rand.NewSource(18))
+	bounds := core.ParamBounds(3)
+	points := make([][]float64, 12)
+	for i := range points {
+		points[i] = bounds.Random(rng)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = be.EvalBatch(points)
+	}
+}
+
+// BenchmarkSampleCounts measures measurement sampling with the CDF +
+// binary-search path (1024 shots from a depth-2 8-qubit state).
+func BenchmarkSampleCounts(b *testing.B) {
+	pb := benchProblem(b)
+	st := pb.State(qaoa.Params{Gamma: []float64{0.4, 0.7}, Beta: []float64{0.5, 0.3}})
+	rng := rand.New(rand.NewSource(19))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = st.SampleCounts(1024, rng)
+	}
+}
+
+// BenchmarkGradientWorkspace measures a full depth-3 central-difference
+// gradient through the reusable workspace (serial and batched probes).
+func BenchmarkGradientWorkspace(b *testing.B) {
+	pb := benchProblem(b)
+	bounds := core.ParamBounds(3)
+	x := bounds.Random(rand.New(rand.NewSource(20)))
+	ws := optimize.NewGradientWorkspace(len(x))
+	dst := make([]float64, len(x))
+	b.Run("serial", func(b *testing.B) {
+		ev := qaoa.NewEvaluator(pb, 3)
+		fx := ev.NegExpectation(x)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = ws.Gradient(dst, ev.NegExpectation, x, fx, bounds, optimize.CentralDiff, 1e-6)
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		ev := qaoa.NewEvaluator(pb, 3)
+		be := qaoa.NewBatchEvaluator(pb, 3, 0)
+		fx := ev.NegExpectation(x)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = ws.GradientBatch(dst, be.EvalBatch, x, fx, bounds, optimize.CentralDiff, 1e-6)
+		}
+	})
+}
+
 // BenchmarkEigenSym measures the Jacobi eigensolver on an 8×8 graph
 // Laplacian (the spectral-utility hot path).
 func BenchmarkEigenSym(b *testing.B) {

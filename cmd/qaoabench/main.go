@@ -1,0 +1,226 @@
+// Command qaoabench runs the QAOA evaluation-engine benchmark suite and
+// writes the results as JSON (BENCH_qaoa.json by default).
+//
+// Micro benchmarks cover the optimizer hot path (one −⟨C⟩ evaluation at
+// depths 1/3/5 through the zero-allocation workspace engine), the
+// explicit gate-level circuit it replaces, batch-evaluator throughput,
+// measurement sampling and the finite-difference gradient. Two
+// wall-clock benchmarks time end-to-end dataset generation and the
+// Table I experiment, reporting objective evaluations per second.
+//
+//	qaoabench            # full suite → BENCH_qaoa.json
+//	qaoabench -quick     # skip the wall-clock experiments
+//	qaoabench -out -     # JSON to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"qaoaml/internal/core"
+	"qaoaml/internal/experiments"
+	"qaoaml/internal/graph"
+	"qaoaml/internal/optimize"
+	"qaoaml/internal/qaoa"
+)
+
+// Entry is one benchmark result in the emitted JSON.
+type Entry struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"` // iterations timed
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Seconds     float64 `json:"seconds,omitempty"` // wall-clock benches
+	NFev        int     `json:"nfev,omitempty"`    // objective evaluations
+	EvalsPerSec float64 `json:"evals_per_sec,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Package    string  `json:"package"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Timestamp  string  `json:"timestamp"`
+	Entries    []Entry `json:"entries"`
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_qaoa.json", "output file ('-' = stdout)")
+		quick = flag.Bool("quick", false, "micro benchmarks only (skip wall-clock experiments)")
+	)
+	flag.Parse()
+
+	rep := Report{
+		Package:    "qaoaml",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	pb, err := qaoa.NewProblem(graph.ErdosRenyiConnected(8, 0.5, rng))
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, depth := range []int{1, 3, 5} {
+		depth := depth
+		ev := qaoa.NewEvaluator(pb, depth)
+		x := core.ParamBounds(depth).Random(rng)
+		_ = ev.NegExpectation(x) // warm the workspace
+		rep.add(fmt.Sprintf("expectation/p%d", depth), bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = ev.NegExpectation(x)
+			}
+		}))
+	}
+
+	// The explicit CNOT·RZ·CNOT + per-qubit RX circuit the engine
+	// replaces, at depth 3 — the speedup baseline.
+	prGate := qaoa.Params{Gamma: []float64{0.4, 0.7, 0.9}, Beta: []float64{0.5, 0.3, 0.2}}
+	rep.add("expectation/p3-gate-circuit", bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := pb.BuildCircuit(prGate).Simulate()
+			_ = st.ExpectationDiagonal(pb.CutTable)
+		}
+	}))
+
+	// Batch throughput on a gradient-stencil-sized batch.
+	be := qaoa.NewBatchEvaluator(pb, 3, 0)
+	points := make([][]float64, 12)
+	for i := range points {
+		points[i] = core.ParamBounds(3).Random(rng)
+	}
+	e := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = be.EvalBatch(points)
+		}
+	})
+	e.EvalsPerSec = float64(len(points)) / (e.NsPerOp * 1e-9)
+	rep.add("batch/12pt-p3", e)
+
+	// Measurement sampling (CDF + binary search).
+	st := pb.State(qaoa.Params{Gamma: []float64{0.4, 0.7}, Beta: []float64{0.5, 0.3}})
+	srng := rand.New(rand.NewSource(19))
+	rep.add("samplecounts/1024shots", bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = st.SampleCounts(1024, srng)
+		}
+	}))
+
+	// Finite-difference gradient through the reusable workspace.
+	gx := core.ParamBounds(3).Random(rng)
+	gev := qaoa.NewEvaluator(pb, 3)
+	gfx := gev.NegExpectation(gx)
+	ws := optimize.NewGradientWorkspace(len(gx))
+	dst := make([]float64, len(gx))
+	rep.add("gradient/central-p3", bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = ws.Gradient(dst, gev.NegExpectation, gx, gfx, core.ParamBounds(3), optimize.CentralDiff, 1e-6)
+		}
+	}))
+
+	if !*quick {
+		rep.add("wallclock/datagen", wallclock(func() int {
+			cfg := core.DataGenConfig{
+				NumGraphs: 8, Nodes: 8, EdgeProb: 0.5,
+				MaxDepth: 3, Starts: 4, Tol: 1e-6, Seed: 2,
+			}
+			data, err := core.Generate(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			nfev := 0
+			for _, recs := range data.Records {
+				for _, r := range recs {
+					nfev += r.NFev
+				}
+			}
+			return nfev
+		}))
+
+		rep.add("wallclock/table1", wallclock(func() int {
+			env, err := experiments.NewEnv(experiments.Scale{
+				NumGraphs: 16, Nodes: 8, EdgeProb: 0.5,
+				MaxDepth: 3, Starts: 4, TrainFrac: 0.4,
+				Reps: 1, TestGraphs: 4, MaxTarget: 3, Seed: 1,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			res := experiments.RunTable1(env)
+			nfev := 0
+			for _, row := range res.Rows {
+				nfev += int(row.NaiveMeanFC) + int(row.TwoMeanFC)
+			}
+			return nfev
+		}))
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(rep.Entries))
+}
+
+// bench runs fn under the standard benchmark harness and converts the
+// result to an Entry.
+func bench(fn func(b *testing.B)) Entry {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return Entry{
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// wallclock times fn once; fn returns the objective-evaluation count so
+// the entry can report evaluations per second.
+func wallclock(fn func() int) Entry {
+	start := time.Now()
+	nfev := fn()
+	secs := time.Since(start).Seconds()
+	e := Entry{N: 1, Seconds: secs, NFev: nfev, NsPerOp: secs * 1e9}
+	if secs > 0 {
+		e.EvalsPerSec = float64(nfev) / secs
+	}
+	return e
+}
+
+// add records the entry and prints a progress line to stderr (stdout is
+// reserved for the JSON document when -out is '-').
+func (r *Report) add(name string, e Entry) {
+	e.Name = name
+	r.Entries = append(r.Entries, e)
+	if e.NFev > 0 {
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op  %8d nfev  %10.0f evals/s\n", name, e.NsPerOp, e.NFev, e.EvalsPerSec)
+	} else {
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op  %4d allocs/op\n", name, e.NsPerOp, e.AllocsPerOp)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qaoabench:", err)
+	os.Exit(1)
+}

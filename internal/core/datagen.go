@@ -133,7 +133,11 @@ func OptimizeDepth(pb *qaoa.Problem, graphID, depth, starts int, opt optimize.Op
 	for len(points) < starts {
 		points = append(points, bounds.Random(rng))
 	}
-	ms := optimize.MultiStartFrom(opt, ev.NegExpectation, bounds, points)
+	// Batch-capable optimizers evaluate their finite-difference probe
+	// stencils through the worker-pool evaluator (bit-identical results,
+	// same NFev); others fall back to ev.NegExpectation serially.
+	be := qaoa.NewBatchEvaluator(pb, depth, 0)
+	ms := optimize.MultiStartFromBatch(opt, ev.NegExpectation, be.EvalBatch, bounds, points)
 	// Canonicalize so that symmetric copies of the optimum (the QAOA
 	// landscape's β-period and conjugation symmetries) map to one
 	// representative; without this the ML targets are inconsistent

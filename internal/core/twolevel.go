@@ -21,7 +21,8 @@ type RunResult struct {
 func NaiveRun(pb *qaoa.Problem, pt int, opt optimize.Optimizer, rng *rand.Rand) RunResult {
 	ev := qaoa.NewEvaluator(pb, pt)
 	bounds := ParamBounds(pt)
-	r := opt.Minimize(ev.NegExpectation, bounds.Random(rng), bounds)
+	be := qaoa.NewBatchEvaluator(pb, pt, 0)
+	r := optimize.MinimizeWith(opt, ev.NegExpectation, be.EvalBatch, bounds.Random(rng), bounds)
 	// Canonical form keeps downstream feature extraction consistent
 	// with the (canonicalized) training dataset.
 	params := pb.Canonicalize(qaoa.FromVector(r.X))
@@ -60,7 +61,8 @@ func TwoLevel(pb *qaoa.Problem, pt int, opt optimize.Optimizer, pred *Predictor,
 	}
 	ev := qaoa.NewEvaluator(pb, pt)
 	bounds := ParamBounds(pt)
-	r := opt.Minimize(ev.NegExpectation, init.Vector(), bounds)
+	be := qaoa.NewBatchEvaluator(pb, pt, 0)
+	r := optimize.MinimizeWith(opt, ev.NegExpectation, be.EvalBatch, init.Vector(), bounds)
 	params := pb.Canonicalize(qaoa.FromVector(r.X))
 	level2 := RunResult{Params: params, AR: pb.ApproximationRatio(params), NFev: r.NFev}
 	return TwoLevelResult{
@@ -101,7 +103,8 @@ func Hierarchical(pb *qaoa.Problem, pt int, opt optimize.Optimizer, pred *Predic
 		return HierarchicalResult{}, err
 	}
 	ev2 := qaoa.NewEvaluator(pb, 2)
-	r2 := opt.Minimize(ev2.NegExpectation, init2.Vector(), ParamBounds(2))
+	be2 := qaoa.NewBatchEvaluator(pb, 2, 0)
+	r2 := optimize.MinimizeWith(opt, ev2.NegExpectation, be2.EvalBatch, init2.Vector(), ParamBounds(2))
 	p2 := pb.Canonicalize(qaoa.FromVector(r2.X))
 	level2 := RunResult{Params: p2, AR: pb.ApproximationRatio(p2), NFev: r2.NFev}
 
@@ -111,7 +114,8 @@ func Hierarchical(pb *qaoa.Problem, pt int, opt optimize.Optimizer, pred *Predic
 		return HierarchicalResult{}, err
 	}
 	evT := qaoa.NewEvaluator(pb, pt)
-	rT := opt.Minimize(evT.NegExpectation, initT.Vector(), ParamBounds(pt))
+	beT := qaoa.NewBatchEvaluator(pb, pt, 0)
+	rT := optimize.MinimizeWith(opt, evT.NegExpectation, beT.EvalBatch, initT.Vector(), ParamBounds(pt))
 	pT := pb.Canonicalize(qaoa.FromVector(rT.X))
 	level3 := RunResult{Params: pT, AR: pb.ApproximationRatio(pT), NFev: rT.NFev}
 

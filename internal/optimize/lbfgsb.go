@@ -19,6 +19,18 @@ func (o *LBFGSB) Name() string { return "L-BFGS-B" }
 
 // Minimize implements Optimizer.
 func (o *LBFGSB) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
+	return o.minimize(f, nil, x0, bounds)
+}
+
+// MinimizeBatch implements BatchMinimizer: finite-difference gradient
+// stencils are evaluated through bf (probes are independent, so a batch
+// objective may run them concurrently); everything else — and the
+// resulting trajectory, NFev and Result — is identical to Minimize.
+func (o *LBFGSB) MinimizeBatch(f Func, bf BatchFunc, x0 []float64, bounds *Bounds) Result {
+	return o.minimize(f, bf, x0, bounds)
+}
+
+func (o *LBFGSB) minimize(f Func, bf BatchFunc, x0 []float64, bounds *Bounds) Result {
 	x := prepareStart(x0, bounds)
 	n := len(x)
 	tol := tolOrDefault(o.Tol)
@@ -29,9 +41,21 @@ func (o *LBFGSB) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 		mem = 10
 	}
 	cnt := &counter{f: f}
+	gws := NewGradientWorkspace(n)
+	grad := func(dst, at []float64, fat float64) {
+		if bf != nil {
+			_, nev := gws.GradientBatch(dst, bf, at, fat, bounds, o.Scheme, o.FDStep)
+			cnt.n += nev
+		} else {
+			gws.Gradient(dst, cnt.call, at, fat, bounds, o.Scheme, o.FDStep)
+		}
+	}
 
 	fx := cnt.call(x)
-	g := Gradient(cnt.call, x, fx, bounds, o.Scheme, o.FDStep)
+	g := make([]float64, n)
+	gNew := make([]float64, n)
+	grad(g, x, fx)
+	xt := make([]float64, n) // line-search / next-iterate buffer
 
 	// L-BFGS history.
 	var sHist, yHist [][]float64
@@ -80,20 +104,21 @@ func (o *LBFGSB) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 			}
 		}
 
-		// Projected backtracking (Armijo) line search along clip(x + α·d).
-		xNew, fNew, ok := projectedLineSearch(cnt, x, fx, g, d, bounds, maxFev)
+		// Projected backtracking (Armijo) line search along clip(x + α·d),
+		// writing the accepted point into the xt buffer.
+		fNew, ok := projectedLineSearch(cnt, x, fx, g, d, bounds, maxFev, xt)
 		if !ok {
 			msg = "line search failed to make progress"
 			break
 		}
 
-		gNew := Gradient(cnt.call, xNew, fNew, bounds, o.Scheme, o.FDStep)
+		grad(gNew, xt, fNew)
 		// Curvature update.
 		s := make([]float64, n)
 		y := make([]float64, n)
 		sy := 0.0
 		for i := range x {
-			s[i] = xNew[i] - x[i]
+			s[i] = xt[i] - x[i]
 			y[i] = gNew[i] - g[i]
 			sy += s[i] * y[i]
 		}
@@ -109,7 +134,9 @@ func (o *LBFGSB) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 		}
 
 		fPrev := fx
-		x, fx, g = xNew, fNew, gNew
+		x, xt = xt, x
+		fx = fNew
+		g, gNew = gNew, g
 		if relChange(fPrev, fx) <= tol {
 			converged = true
 			msg = "function change below tolerance"
@@ -155,12 +182,12 @@ func twoLoop(g []float64, sHist, yHist [][]float64, rhoHist []float64) []float64
 }
 
 // projectedLineSearch backtracks along clip(x + α·d) with an Armijo
-// condition on the projected step. It returns the accepted point.
-func projectedLineSearch(cnt *counter, x []float64, fx float64, g, d []float64, bounds *Bounds, maxFev int) (xNew []float64, fNew float64, ok bool) {
+// condition on the projected step, writing each candidate into the
+// caller-provided xt buffer. On success xt holds the accepted point.
+func projectedLineSearch(cnt *counter, x []float64, fx float64, g, d []float64, bounds *Bounds, maxFev int, xt []float64) (fNew float64, ok bool) {
 	const c1 = 1e-4
 	alpha := 1.0
 	for try := 0; try < 30 && cnt.n < maxFev; try++ {
-		xt := make([]float64, len(x))
 		for i := range xt {
 			xt[i] = x[i] + alpha*d[i]
 		}
@@ -176,15 +203,15 @@ func projectedLineSearch(cnt *counter, x []float64, fx float64, g, d []float64, 
 			gTdx += g[i] * dx
 		}
 		if !moved {
-			return nil, 0, false
+			return 0, false
 		}
 		ft := cnt.call(xt)
 		if ft <= fx+c1*gTdx || (gTdx >= 0 && ft < fx) {
-			return xt, ft, true
+			return ft, true
 		}
 		alpha /= 2
 	}
-	return nil, 0, false
+	return 0, false
 }
 
 func dot(a, b []float64) float64 {

@@ -29,6 +29,18 @@ func (o *SLSQP) Name() string { return "SLSQP" }
 
 // Minimize implements Optimizer.
 func (o *SLSQP) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
+	return o.minimize(f, nil, x0, bounds)
+}
+
+// MinimizeBatch implements BatchMinimizer: finite-difference gradient
+// stencils are evaluated through bf (probes are independent, so a batch
+// objective may run them concurrently); everything else — and the
+// resulting trajectory, NFev and Result — is identical to Minimize.
+func (o *SLSQP) MinimizeBatch(f Func, bf BatchFunc, x0 []float64, bounds *Bounds) Result {
+	return o.minimize(f, bf, x0, bounds)
+}
+
+func (o *SLSQP) minimize(f Func, bf BatchFunc, x0 []float64, bounds *Bounds) Result {
 	x := prepareStart(x0, bounds)
 	n := len(x)
 	tol := tolOrDefault(o.Tol)
@@ -36,9 +48,21 @@ func (o *SLSQP) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 	maxFev := maxIterOrDefault(o.MaxFev, 2000*n)
 	sweeps := maxIterOrDefault(o.QPSweep, 30)
 	cnt := &counter{f: f}
+	gws := NewGradientWorkspace(n)
+	grad := func(dst, at []float64, fat float64) {
+		if bf != nil {
+			_, nev := gws.GradientBatch(dst, bf, at, fat, bounds, o.Scheme, o.FDStep)
+			cnt.n += nev
+		} else {
+			gws.Gradient(dst, cnt.call, at, fat, bounds, o.Scheme, o.FDStep)
+		}
+	}
 
 	fx := cnt.call(x)
-	g := Gradient(cnt.call, x, fx, bounds, o.Scheme, o.FDStep)
+	g := make([]float64, n)
+	gNew := make([]float64, n)
+	grad(g, x, fx)
+	xls := make([]float64, n) // line-search candidate buffer
 	b := linalg.Identity(n)
 
 	iters := 0
@@ -61,21 +85,20 @@ func (o *SLSQP) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 			break
 		}
 
-		// Armijo backtracking along the feasible direction d.
+		// Armijo backtracking along the feasible direction d, writing
+		// candidates into the reusable xls buffer.
 		gTd := dot(g, d)
 		alpha := 1.0
-		var xNew []float64
 		var fNew float64
 		accepted := false
 		for try := 0; try < 30 && cnt.n < maxFev; try++ {
-			xt := make([]float64, n)
-			for i := range xt {
-				xt[i] = x[i] + alpha*d[i]
+			for i := range xls {
+				xls[i] = x[i] + alpha*d[i]
 			}
-			bounds.Clip(xt) // guard roundoff; d is feasible by construction
-			ft := cnt.call(xt)
+			bounds.Clip(xls) // guard roundoff; d is feasible by construction
+			ft := cnt.call(xls)
 			if ft <= fx+1e-4*alpha*gTd || (gTd >= 0 && ft < fx) {
-				xNew, fNew, accepted = xt, ft, true
+				fNew, accepted = ft, true
 				break
 			}
 			alpha /= 2
@@ -85,11 +108,13 @@ func (o *SLSQP) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 			break
 		}
 
-		gNew := Gradient(cnt.call, xNew, fNew, bounds, o.Scheme, o.FDStep)
-		updateDampedBFGS(b, x, xNew, g, gNew)
+		grad(gNew, xls, fNew)
+		updateDampedBFGS(b, x, xls, g, gNew)
 
 		fPrev := fx
-		x, fx, g = xNew, fNew, gNew
+		x, xls = xls, x
+		fx = fNew
+		g, gNew = gNew, g
 		if relChange(fPrev, fx) <= tol {
 			converged = true
 			msg = "function change below tolerance"

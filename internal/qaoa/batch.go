@@ -1,0 +1,91 @@
+package qaoa
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// BatchEvaluator evaluates independent parameter vectors of one
+// (problem, depth) objective on a worker pool, one EvalWorkspace per
+// worker. It is the batch analogue of Evaluator.NegExpectation: each
+// point costs one QC call and results are returned in input order.
+//
+// Because every point is evaluated by the same pure kernel on its own
+// workspace, EvalBatch is bit-identical to len(points) sequential
+// NegExpectation calls regardless of how the scheduler interleaves the
+// workers. EvalBatch itself must not be called concurrently (the NFev
+// counter and worker workspaces are reused across calls).
+type BatchEvaluator struct {
+	Problem *Problem
+	Depth   int
+
+	workers []*EvalWorkspace
+	nfev    int
+}
+
+// NewBatchEvaluator builds a batch evaluator with the given worker
+// count (≤ 0 selects GOMAXPROCS). Depth p must be ≥ 1.
+func NewBatchEvaluator(pb *Problem, p, workers int) *BatchEvaluator {
+	if p < 1 {
+		panic(fmt.Sprintf("qaoa: depth %d < 1", p))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	b := &BatchEvaluator{Problem: pb, Depth: p, workers: make([]*EvalWorkspace, workers)}
+	for i := range b.workers {
+		b.workers[i] = pb.NewWorkspace()
+	}
+	return b
+}
+
+// Dim returns the number of optimization variables, 2p.
+func (b *BatchEvaluator) Dim() int { return 2 * b.Depth }
+
+// EvalBatch evaluates −⟨C⟩ at every point and returns the values in
+// input order. Each point counts one QC call.
+func (b *BatchEvaluator) EvalBatch(points [][]float64) []float64 {
+	for i, x := range points {
+		if len(x) != b.Dim() {
+			panic(fmt.Sprintf("qaoa: batch point %d has length %d != 2p = %d", i, len(x), b.Dim()))
+		}
+	}
+	b.nfev += len(points)
+	out := make([]float64, len(points))
+	nw := len(b.workers)
+	if nw > len(points) {
+		nw = len(points)
+	}
+	if nw <= 1 {
+		ws := b.workers[0]
+		for i, x := range points {
+			out[i] = -ws.ExpectationVec(x)
+		}
+		return out
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(ws *EvalWorkspace) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(points) {
+					return
+				}
+				out[i] = -ws.ExpectationVec(points[i])
+			}
+		}(b.workers[w])
+	}
+	wg.Wait()
+	return out
+}
+
+// NFev returns the number of QC calls so far.
+func (b *BatchEvaluator) NFev() int { return b.nfev }
+
+// ResetNFev zeroes the QC-call counter.
+func (b *BatchEvaluator) ResetNFev() { b.nfev = 0 }

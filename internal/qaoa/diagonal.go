@@ -3,6 +3,7 @@ package qaoa
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"qaoaml/internal/quantum"
 )
@@ -19,6 +20,11 @@ type DiagonalProblem struct {
 	Diag     []float64 // C(z) for every basis state, length 2^N
 	OptValue float64   // max over Diag
 	MinValue float64   // min over Diag
+
+	// Fast-path precomputation (see workspace.go), built lazily.
+	kernOnce sync.Once
+	kern     *diagKernel
+	pool     wsPool
 }
 
 // NewDiagonalProblem validates the cost table (length 2^n, finite
@@ -45,33 +51,30 @@ func NewDiagonalProblem(n int, diag []float64) (*DiagonalProblem, error) {
 	return &DiagonalProblem{N: n, Diag: table, OptValue: hi, MinValue: lo}, nil
 }
 
-// State returns |ψ(γ, β)⟩ for the general ansatz: H layer, then per
-// stage exp(−iγ C) followed by RX(2β) mixers.
+// State returns |ψ(γ, β)⟩ for the general ansatz: uniform initial
+// layer, then per stage exp(−iγ C) followed by RX(2β) mixers, computed
+// with the memoized-phase and fused-mixer kernels of workspace.go.
 func (dp *DiagonalProblem) State(pr Params) *quantum.State {
 	if err := pr.Validate(false); err != nil {
 		panic(err)
 	}
-	s := quantum.NewState(dp.N)
-	for q := 0; q < dp.N; q++ {
-		s.H(q)
-	}
-	phases := make([]float64, len(dp.Diag))
-	for stage := 0; stage < pr.Depth(); stage++ {
-		gamma := pr.Gamma[stage]
-		for z := range phases {
-			phases[z] = -gamma * dp.Diag[z]
-		}
-		s.ApplyDiagonalPhase(phases)
-		for q := 0; q < dp.N; q++ {
-			s.RX(q, 2*pr.Beta[stage])
-		}
-	}
+	k := dp.kernel()
+	s := quantum.NewUniformState(dp.N)
+	factors := make([]complex128, len(k.halfAngles))
+	k.run(s, factors, pr.Gamma, pr.Beta)
 	return s
 }
 
-// Expectation returns ⟨C⟩ in the ansatz state.
+// Expectation returns ⟨C⟩ in the ansatz state. Safe for concurrent use
+// (buffers come from an internal pool).
 func (dp *DiagonalProblem) Expectation(pr Params) float64 {
-	return dp.State(pr).ExpectationDiagonal(dp.Diag)
+	if err := pr.Validate(false); err != nil {
+		panic(err)
+	}
+	w := dp.pool.get(dp.kernel())
+	e := w.expectation(pr.Gamma, pr.Beta)
+	dp.pool.put(w)
+	return e
 }
 
 // NormalizedScore maps ⟨C⟩ to [0, 1] via (⟨C⟩ − min C)/(max C − min C):
@@ -100,14 +103,17 @@ func (dp *DiagonalProblem) NewEvaluator(depth int) *DiagonalEvaluator {
 	if depth < 1 {
 		panic(fmt.Sprintf("qaoa: depth %d < 1", depth))
 	}
-	return &DiagonalEvaluator{Problem: dp, Depth: depth}
+	return &DiagonalEvaluator{Problem: dp, Depth: depth, ws: dp.NewWorkspace()}
 }
 
-// DiagonalEvaluator counts QC calls for a DiagonalProblem.
+// DiagonalEvaluator counts QC calls for a DiagonalProblem. It owns an
+// EvalWorkspace, so NegExpectation does not allocate after warm-up; not
+// safe for concurrent use.
 type DiagonalEvaluator struct {
 	Problem *DiagonalProblem
 	Depth   int
 	nfev    int
+	ws      *EvalWorkspace
 }
 
 // Dim returns 2·depth.
@@ -119,7 +125,7 @@ func (e *DiagonalEvaluator) NegExpectation(x []float64) float64 {
 		panic(fmt.Sprintf("qaoa: parameter vector length %d != 2p = %d", len(x), e.Dim()))
 	}
 	e.nfev++
-	return -e.Problem.Expectation(FromVector(x))
+	return -e.ws.ExpectationVec(x)
 }
 
 // NFev returns the number of QC calls so far.
@@ -176,14 +182,16 @@ func (dp *DiagonalProblem) ConstrainedState(pr Params, initial uint64) *quantum.
 	if initial >= uint64(len(dp.Diag)) {
 		panic(fmt.Sprintf("qaoa: initial state %d out of range", initial))
 	}
+	k := dp.kernel()
 	s := quantum.NewBasisState(dp.N, initial)
-	phases := make([]float64, len(dp.Diag))
+	factors := make([]complex128, len(k.halfAngles))
 	for stage := 0; stage < pr.Depth(); stage++ {
 		gamma := pr.Gamma[stage]
-		for z := range phases {
-			phases[z] = -gamma * dp.Diag[z]
+		for j, h := range k.halfAngles {
+			sin, cos := math.Sincos(gamma * h)
+			factors[j] = complex(cos, sin)
 		}
-		s.ApplyDiagonalPhase(phases)
+		s.MulDiagonalIndexed(k.idx, factors)
 		for q := 0; q < dp.N; q++ {
 			s.XY(q, (q+1)%dp.N, pr.Beta[stage])
 		}

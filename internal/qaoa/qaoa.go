@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"sync"
 
 	"qaoaml/internal/graph"
 	"qaoaml/internal/quantum"
@@ -91,6 +92,12 @@ type Problem struct {
 	CutTable    []float64
 	OptValue    float64 // exact MaxCut value (cut weight)
 	TotalWeight float64 // sum of all edge weights
+
+	// Fast-path precomputation (see workspace.go), built lazily so any
+	// correctly-populated Problem value gets it on first evaluation.
+	kernOnce sync.Once
+	kern     *diagKernel
+	pool     wsPool
 }
 
 // NewProblem precomputes the cost table and the exact MaxCut optimum.
@@ -143,43 +150,33 @@ func (pb *Problem) BuildCircuit(pr Params) *quantum.Circuit {
 	return c
 }
 
-// State returns |ψ(γ, β)⟩ using the fast diagonal phase-separator path.
-// The result matches BuildCircuit(pr).Simulate() exactly, including
-// global phase.
+// State returns |ψ(γ, β)⟩ using the fast diagonal phase-separator path
+// (distinct-cut memoized phases, fused mixing kernel — see
+// workspace.go). The result matches BuildCircuit(pr).Simulate() to
+// rounding error, including global phase.
 func (pb *Problem) State(pr Params) *quantum.State {
 	if err := pr.Validate(false); err != nil {
 		panic(err)
 	}
-	n := pb.NumQubits()
-	s := quantum.NewState(n)
-	for q := 0; q < n; q++ {
-		s.H(q)
-	}
-	for stage := 0; stage < pr.Depth(); stage++ {
-		pb.applyPhaseSeparator(s, pr.Gamma[stage], pb.TotalWeight)
-		for q := 0; q < n; q++ {
-			s.RX(q, 2*pr.Beta[stage])
-		}
-	}
+	k := pb.kernel()
+	s := quantum.NewUniformState(pb.NumQubits())
+	factors := make([]complex128, len(k.halfAngles))
+	k.run(s, factors, pr.Gamma, pr.Beta)
 	return s
 }
 
-// applyPhaseSeparator multiplies amplitude z by exp(iγ(W − 2C(z))/2)
-// where W is the total edge weight, which is exactly the product over
-// edges of the CNOT·RZ(−γ·w)·CNOT sequence (each edge contributes
-// exp(iγw/2) when uncut and exp(−iγw/2) when cut).
-func (pb *Problem) applyPhaseSeparator(s *quantum.State, gamma, m float64) {
-	dim := s.Dim()
-	phases := make([]float64, dim)
-	for z := 0; z < dim; z++ {
-		phases[z] = gamma * (m - 2*pb.CutTable[z]) / 2
-	}
-	s.ApplyDiagonalPhase(phases)
-}
-
-// Expectation returns ⟨ψ(γ, β)|C|ψ(γ, β)⟩, the expected cut size.
+// Expectation returns ⟨ψ(γ, β)|C|ψ(γ, β)⟩, the expected cut size. It is
+// safe for concurrent use: evaluation buffers come from an internal
+// pool. Evaluation loops should prefer an Evaluator or EvalWorkspace,
+// which reuse one buffer set without pool round-trips.
 func (pb *Problem) Expectation(pr Params) float64 {
-	return pb.State(pr).ExpectationDiagonal(pb.CutTable)
+	if err := pr.Validate(false); err != nil {
+		panic(err)
+	}
+	w := pb.pool.get(pb.kernel())
+	e := w.expectation(pr.Gamma, pr.Beta)
+	pb.pool.put(w)
+	return e
 }
 
 // ApproximationRatio returns ⟨C⟩ / C_opt for the given parameters.
@@ -204,11 +201,15 @@ func (pb *Problem) BestSampledCut(pr Params) (cut float64, assign uint64) {
 
 // Evaluator wraps a Problem as a minimization objective over the flat
 // parameter vector and counts quantum-computer calls (the paper's
-// "function calls" / "QC calls" / loop iterations).
+// "function calls" / "QC calls" / loop iterations). It owns an
+// EvalWorkspace, so NegExpectation performs no heap allocation after
+// warm-up; like the workspace, an Evaluator is not safe for concurrent
+// use — create one per goroutine.
 type Evaluator struct {
 	Problem *Problem
 	Depth   int
 	nfev    int
+	ws      *EvalWorkspace
 }
 
 // NewEvaluator returns an evaluator for a fixed circuit depth p ≥ 1.
@@ -216,7 +217,7 @@ func NewEvaluator(pb *Problem, p int) *Evaluator {
 	if p < 1 {
 		panic(fmt.Sprintf("qaoa: depth %d < 1", p))
 	}
-	return &Evaluator{Problem: pb, Depth: p}
+	return &Evaluator{Problem: pb, Depth: p, ws: pb.NewWorkspace()}
 }
 
 // Dim returns the number of optimization variables, 2p.
@@ -229,7 +230,7 @@ func (e *Evaluator) NegExpectation(x []float64) float64 {
 		panic(fmt.Sprintf("qaoa: parameter vector length %d != 2p = %d", len(x), e.Dim()))
 	}
 	e.nfev++
-	return -e.Problem.Expectation(FromVector(x))
+	return -e.ws.ExpectationVec(x)
 }
 
 // NFev returns the number of QC calls so far.
@@ -241,11 +242,7 @@ func (e *Evaluator) ResetNFev() { e.nfev = 0 }
 // UniformState returns the p = 0 state (just the Hadamard layer), whose
 // expectation is m/2 — a useful baseline in tests.
 func (pb *Problem) UniformState() *quantum.State {
-	s := quantum.NewState(pb.NumQubits())
-	for q := 0; q < pb.NumQubits(); q++ {
-		s.H(q)
-	}
-	return s
+	return quantum.NewUniformState(pb.NumQubits())
 }
 
 // GlobalPhaseReference exposes the phase convention used by the fast

@@ -1,0 +1,184 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// randomKernelState returns a normalized random state (shared helper
+// randomState lives in state_test.go; this one takes an explicit seed
+// sequence for kernel tests).
+func randomKernelState(rng *rand.Rand, n int) *State {
+	s := NewState(n)
+	for i := range s.amps {
+		s.amps[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	s.Normalize()
+	return s
+}
+
+func maxAmpDiff(a, b *State) float64 {
+	worst := 0.0
+	for i := range a.amps {
+		if d := cmplx.Abs(a.amps[i] - b.amps[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// RXAll must reproduce n sequential RX applications exactly (to
+// rounding), for even and odd qubit counts.
+func TestRXAllMatchesPerQubitRX(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		for trial := 0; trial < 5; trial++ {
+			theta := (rng.Float64() - 0.5) * 4 * math.Pi
+			fused := randomKernelState(rng, n)
+			ref := fused.Clone()
+			fused.RXAll(theta)
+			for q := 0; q < n; q++ {
+				ref.RX(q, theta)
+			}
+			if d := maxAmpDiff(fused, ref); d > 1e-12 {
+				t.Errorf("n=%d θ=%v: RXAll differs from per-qubit RX by %v", n, theta, d)
+			}
+		}
+	}
+}
+
+// FillUniform must agree with the Hadamard layer it replaces.
+func TestFillUniformMatchesHadamardLayer(t *testing.T) {
+	for _, n := range []int{1, 3, 6} {
+		u := NewUniformState(n)
+		h := NewState(n)
+		for q := 0; q < n; q++ {
+			h.H(q)
+		}
+		if d := maxAmpDiff(u, h); d > 1e-12 {
+			t.Errorf("n=%d: uniform fill differs from H layer by %v", n, d)
+		}
+	}
+}
+
+// MulDiagonalIndexed with a per-amplitude identity index must equal
+// ApplyDiagonalPhase on the same angles.
+func TestMulDiagonalIndexedMatchesApplyDiagonalPhase(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	n := 6
+	dim := 1 << n
+	phases := make([]float64, dim)
+	idx := make([]int32, dim)
+	factors := make([]complex128, dim)
+	for i := range phases {
+		phases[i] = (rng.Float64() - 0.5) * 8
+		idx[i] = int32(i)
+		sin, cos := math.Sincos(phases[i])
+		factors[i] = complex(cos, sin)
+	}
+	a := randomKernelState(rng, n)
+	b := a.Clone()
+	a.MulDiagonalIndexed(idx, factors)
+	b.ApplyDiagonalPhase(phases)
+	if d := maxAmpDiff(a, b); d > 1e-12 {
+		t.Errorf("indexed diagonal differs from phase table by %v", d)
+	}
+}
+
+// A shared-value index table (the distinct-cut memoization pattern)
+// must act like the expanded phase table.
+func TestMulDiagonalIndexedSharedValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	n := 5
+	dim := 1 << n
+	distinct := []float64{-1.3, 0, 0.7, 2.9}
+	factors := make([]complex128, len(distinct))
+	for j, ph := range distinct {
+		sin, cos := math.Sincos(ph)
+		factors[j] = complex(cos, sin)
+	}
+	idx := make([]int32, dim)
+	phases := make([]float64, dim)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(len(distinct)))
+		phases[i] = distinct[idx[i]]
+	}
+	a := randomKernelState(rng, n)
+	b := a.Clone()
+	a.MulDiagonalIndexed(idx, factors)
+	b.ApplyDiagonalPhase(phases)
+	if d := maxAmpDiff(a, b); d > 1e-12 {
+		t.Errorf("shared-value indexed diagonal differs by %v", d)
+	}
+}
+
+func TestMulDiagonalIndexedLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewState(2).MulDiagonalIndexed([]int32{0}, []complex128{1})
+}
+
+// The chunked parallel split must be bit-identical to one serial pass,
+// independent of GOMAXPROCS (chunks are disjoint element ranges).
+func TestParallelChunksMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	n := 10
+	dim := 1 << n
+	phases := make([]float64, dim)
+	for i := range phases {
+		phases[i] = rng.NormFloat64()
+	}
+	serial := randomKernelState(rng, n)
+	chunked := serial.Clone()
+	applyPhaseRange(serial.amps, phases)
+	parallelChunks(dim, func(lo, hi int) {
+		applyPhaseRange(chunked.amps[lo:hi], phases[lo:hi])
+	})
+	for i := range serial.amps {
+		if serial.amps[i] != chunked.amps[i] {
+			t.Fatalf("amp %d: chunked %v != serial %v", i, chunked.amps[i], serial.amps[i])
+		}
+	}
+}
+
+// sampleCountsLinear is the pre-optimization O(shots·2^n) reference:
+// one linear scan per shot, one rng.Float64 per shot.
+func sampleCountsLinear(s *State, shots int, rng *rand.Rand) map[uint64]int {
+	counts := make(map[uint64]int)
+	for i := 0; i < shots; i++ {
+		counts[s.Sample(rng)]++
+	}
+	return counts
+}
+
+// SampleCounts must reproduce the old linear-scan path exactly under
+// the same seed: same RNG consumption, same outcome per shot.
+func TestSampleCountsMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	for trial := 0; trial < 4; trial++ {
+		s := randomKernelState(rng, 6)
+		seed := int64(900 + trial)
+		fast := s.SampleCounts(5000, rand.New(rand.NewSource(seed)))
+		slow := sampleCountsLinear(s, 5000, rand.New(rand.NewSource(seed)))
+		if len(fast) != len(slow) {
+			t.Fatalf("trial %d: outcome support %d != %d", trial, len(fast), len(slow))
+		}
+		for z, c := range slow {
+			if fast[z] != c {
+				t.Fatalf("trial %d: counts[%d] = %d, want %d", trial, z, fast[z], c)
+			}
+		}
+	}
+}
+
+func TestSampleCountsZeroShots(t *testing.T) {
+	s := NewUniformState(3)
+	if c := s.SampleCounts(0, rand.New(rand.NewSource(1))); len(c) != 0 {
+		t.Errorf("zero shots returned counts %v", c)
+	}
+}

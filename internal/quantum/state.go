@@ -13,6 +13,8 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"runtime"
+	"sort"
 )
 
 // MaxQubits bounds state allocation (2^24 amplitudes ≈ 256 MiB).
@@ -144,10 +146,31 @@ func (s *State) Sample(rng *rand.Rand) uint64 {
 }
 
 // SampleCounts draws shots measurements and returns outcome counts.
+// It builds the cumulative distribution once and binary-searches per
+// shot — O(2^n + shots·n) against the O(shots·2^n) of repeated Sample
+// calls — while consuming the RNG identically (one Float64 per shot),
+// so a given seed yields exactly the counts the per-shot linear scan
+// would.
 func (s *State) SampleCounts(shots int, rng *rand.Rand) map[uint64]int {
 	counts := make(map[uint64]int)
+	if shots <= 0 {
+		return counts
+	}
+	cdf := make([]float64, len(s.amps))
+	acc := 0.0
+	for i, a := range s.amps {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		cdf[i] = acc
+	}
 	for i := 0; i < shots; i++ {
-		counts[s.Sample(rng)]++
+		r := rng.Float64()
+		// Smallest z with r < cdf[z]: the same outcome Sample's running
+		// scan returns, because cdf accumulates in the same order.
+		z := sort.Search(len(cdf), func(j int) bool { return r < cdf[j] })
+		if z == len(cdf) {
+			z = len(cdf) - 1 // roundoff: return last state
+		}
+		counts[uint64(z)]++
 	}
 	return counts
 }
@@ -201,8 +224,9 @@ func (s *State) RY(q int, theta float64) {
 // RZ applies RZ(θ) = exp(-iθZ/2) = diag(e^{-iθ/2}, e^{iθ/2}) to qubit q.
 func (s *State) RZ(q int, theta float64) {
 	s.checkQubit(q)
-	p0 := cmplx.Exp(complex(0, -theta/2))
-	p1 := cmplx.Exp(complex(0, theta/2))
+	sin, cos := math.Sincos(theta / 2)
+	p0 := complex(cos, -sin)
+	p1 := complex(cos, sin)
 	bit := 1 << uint(q)
 	for i := range s.amps {
 		if i&bit == 0 {
@@ -216,7 +240,8 @@ func (s *State) RZ(q int, theta float64) {
 // Phase applies diag(1, e^{iφ}) to qubit q.
 func (s *State) Phase(q int, phi float64) {
 	s.checkQubit(q)
-	p := cmplx.Exp(complex(0, phi))
+	sin, cos := math.Sincos(phi)
+	p := complex(cos, sin)
 	bit := 1 << uint(q)
 	for i := range s.amps {
 		if i&bit != 0 {
@@ -309,8 +334,9 @@ func (s *State) ZZ(a, b int, theta float64) {
 	if a == b {
 		panic("quantum: ZZ on identical qubits")
 	}
-	pSame := cmplx.Exp(complex(0, -theta/2)) // Z⊗Z eigenvalue +1
-	pDiff := cmplx.Exp(complex(0, theta/2))  // Z⊗Z eigenvalue -1
+	sin, cos := math.Sincos(theta / 2)
+	pSame := complex(cos, -sin) // Z⊗Z eigenvalue +1
+	pDiff := complex(cos, sin)  // Z⊗Z eigenvalue -1
 	abit, bbit := 1<<uint(a), 1<<uint(b)
 	for i := range s.amps {
 		if (i&abit != 0) == (i&bbit != 0) {
@@ -322,14 +348,20 @@ func (s *State) ZZ(a, b int, theta float64) {
 }
 
 // ApplyDiagonalPhase multiplies amplitude z by e^{i·phases[z]}.
-// It panics on a length mismatch.
+// It panics on a length mismatch. Large registers (2^16 amplitudes and
+// up) are processed in parallel chunks; the chunks are disjoint, so the
+// result is bit-identical to a serial pass.
 func (s *State) ApplyDiagonalPhase(phases []float64) {
 	if len(phases) != len(s.amps) {
 		panic("quantum: phase table length mismatch")
 	}
-	for i := range s.amps {
-		s.amps[i] *= cmplx.Exp(complex(0, phases[i]))
+	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
+		parallelChunks(len(s.amps), func(lo, hi int) {
+			applyPhaseRange(s.amps[lo:hi], phases[lo:hi])
+		})
+		return
 	}
+	applyPhaseRange(s.amps, phases)
 }
 
 // Equal reports whether the two states agree amplitude-wise within tol
