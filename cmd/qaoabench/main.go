@@ -8,13 +8,17 @@
 // wall-clock benchmarks time end-to-end dataset generation and the
 // Table I experiment, reporting objective evaluations per second.
 //
-//	qaoabench            # full suite → BENCH_qaoa.json
-//	qaoabench -quick     # skip the wall-clock experiments
-//	qaoabench -out -     # JSON to stdout
+//	qaoabench                    # full suite → BENCH_qaoa.json
+//	qaoabench -quick             # skip the wall-clock experiments
+//	qaoabench -out -             # JSON to stdout
+//	qaoabench -metrics m.json    # also dump telemetry (FC/latency histograms)
+//	qaoabench -timeout 30s       # bound the wall-clock experiments
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -28,6 +32,7 @@ import (
 	"qaoaml/internal/graph"
 	"qaoaml/internal/optimize"
 	"qaoaml/internal/qaoa"
+	"qaoaml/internal/telemetry"
 )
 
 // Entry is one benchmark result in the emitted JSON.
@@ -53,10 +58,23 @@ type Report struct {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_qaoa.json", "output file ('-' = stdout)")
-		quick = flag.Bool("quick", false, "micro benchmarks only (skip wall-clock experiments)")
+		out     = flag.String("out", "BENCH_qaoa.json", "output file ('-' = stdout)")
+		quick   = flag.Bool("quick", false, "micro benchmarks only (skip wall-clock experiments)")
+		timeout = flag.Duration("timeout", 0, "deadline for the wall-clock experiments (0 = none)")
+		workers = flag.Int("workers", 0, "datagen parallelism in wall-clock experiments (0 = GOMAXPROCS)")
+		metrics = flag.String("metrics", "", "write collected telemetry (FC/latency histograms, spans) as JSON to this file")
 	)
 	flag.Parse()
+	if *timeout < 0 || *workers < 0 {
+		fatal(fmt.Errorf("-timeout and -workers must be non-negative"))
+	}
+
+	var mem *telemetry.Memory
+	var rec telemetry.Recorder // stays untyped-nil when -metrics is off
+	if *metrics != "" {
+		mem = telemetry.NewMemory()
+		rec = mem
+	}
 
 	rep := Report{
 		Package:    "qaoaml",
@@ -129,13 +147,27 @@ func main() {
 	}))
 
 	if !*quick {
+		// The -timeout clock starts here so the micro benchmarks above
+		// can't eat the wall-clock experiments' budget.
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		// The wall-clock experiments run under ctx and feed the telemetry
+		// sink: the per-depth datagen.fc.p* histograms, the optimize.run_ms
+		// latency histogram and the datagen.generate span all land in the
+		// -metrics dump. A -timeout deadline cuts them short (within one
+		// optimizer step) and keeps whatever was measured.
 		rep.add("wallclock/datagen", wallclock(func() int {
 			cfg := core.DataGenConfig{
 				NumGraphs: 8, Nodes: 8, EdgeProb: 0.5,
 				MaxDepth: 3, Starts: 4, Tol: 1e-6, Seed: 2,
+				Workers: *workers, Recorder: rec,
 			}
-			data, err := core.Generate(cfg)
-			if err != nil {
+			data, err := core.GenerateCtx(ctx, cfg)
+			if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 				fatal(err)
 			}
 			nfev := 0
@@ -147,22 +179,31 @@ func main() {
 			return nfev
 		}))
 
-		rep.add("wallclock/table1", wallclock(func() int {
-			env, err := experiments.NewEnv(experiments.Scale{
-				NumGraphs: 16, Nodes: 8, EdgeProb: 0.5,
-				MaxDepth: 3, Starts: 4, TrainFrac: 0.4,
-				Reps: 1, TestGraphs: 4, MaxTarget: 3, Seed: 1,
-			})
-			if err != nil {
-				fatal(err)
-			}
-			res := experiments.RunTable1(env)
-			nfev := 0
-			for _, row := range res.Rows {
-				nfev += int(row.NaiveMeanFC) + int(row.TwoMeanFC)
-			}
-			return nfev
-		}))
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "qaoabench: timeout reached, skipping wallclock/table1")
+		} else {
+			rep.add("wallclock/table1", wallclock(func() int {
+				env, err := experiments.NewEnvCtx(ctx, experiments.Scale{
+					NumGraphs: 16, Nodes: 8, EdgeProb: 0.5,
+					MaxDepth: 3, Starts: 4, TrainFrac: 0.4,
+					Reps: 1, TestGraphs: 4, MaxTarget: 3,
+					Workers: *workers, Seed: 1,
+				}, rec)
+				if err != nil {
+					if errors.Is(err, context.DeadlineExceeded) {
+						fmt.Fprintln(os.Stderr, "qaoabench: timeout reached during table1 dataset")
+						return 0
+					}
+					fatal(err)
+				}
+				res := experiments.RunTable1(env)
+				nfev := 0
+				for _, row := range res.Rows {
+					nfev += int(row.NaiveMeanFC) + int(row.TwoMeanFC)
+				}
+				return nfev
+			}))
+		}
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -172,12 +213,27 @@ func main() {
 	blob = append(blob, '\n')
 	if *out == "-" {
 		os.Stdout.Write(blob)
-		return
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(rep.Entries))
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		fatal(err)
+
+	if mem != nil {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		if err := mem.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (telemetry snapshot)\n", *metrics)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(rep.Entries))
 }
 
 // bench runs fn under the standard benchmark harness and converts the

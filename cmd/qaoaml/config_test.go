@@ -1,0 +1,74 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"testing"
+	"time"
+)
+
+func parse(t *testing.T, args ...string) (RunConfig, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("qaoaml", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return FromFlags(fs, args)
+}
+
+func TestFromFlagsDefaultsAreValid(t *testing.T) {
+	cfg, err := parse(t, "datagen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfg.Scale()
+	if err := s.Validate(); err != nil {
+		t.Errorf("default scale invalid: %v", err)
+	}
+	if cfg.Timeout != 0 || cfg.Metrics != "" {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+}
+
+func TestFromFlagsRejectsNonsense(t *testing.T) {
+	bad := [][]string{
+		{"-graphs", "-3"},
+		{"-nodes", "-1"},
+		{"-starts", "-5"},
+		{"-reps", "-2"},
+		{"-workers", "-4"},
+		{"-max-target", "-1"},
+		{"-test-graphs", "-2"},
+		{"-train-frac", "1.5"},
+		{"-train-frac", "-0.2"},
+		{"-timeout", "-10s"},
+		{"-load-data", "a.json", "-save-data", "b.json"},
+	}
+	for _, args := range bad {
+		if _, err := parse(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestFromFlagsOverridesApply(t *testing.T) {
+	cfg, err := parse(t, "-paper", "-graphs", "12", "-train-frac", "0.5",
+		"-workers", "3", "-timeout", "90s", "-test-graphs", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfg.Scale()
+	if s.NumGraphs != 12 || s.TrainFrac != 0.5 || s.Workers != 3 || s.TestGraphs != 0 {
+		t.Errorf("overrides not applied: %+v", s)
+	}
+	// -paper values survive where not overridden.
+	if s.Starts != 20 || s.MaxDepth != 6 {
+		t.Errorf("paper scale lost: %+v", s)
+	}
+	if cfg.Timeout != 90*time.Second {
+		t.Errorf("timeout = %v", cfg.Timeout)
+	}
+	ctx, cancel := cfg.Context()
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Error("Context() has no deadline despite -timeout")
+	}
+}

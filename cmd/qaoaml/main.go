@@ -10,9 +10,13 @@
 //
 // The default scale runs in tens of seconds; -paper restores the
 // paper's full setup (330 graphs, 20 starts, 20 reps — minutes of CPU).
+// -timeout bounds the run (cancellation lands within one optimizer
+// step), and -metrics dumps the collected telemetry — per-depth FC
+// histograms, optimizer run stats, flow spans — as JSON.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,67 +26,54 @@ import (
 	"qaoaml/internal/core"
 	"qaoaml/internal/experiments"
 	"qaoaml/internal/stats"
+	"qaoaml/internal/telemetry"
 )
 
 func main() {
-	var (
-		paper      = flag.Bool("paper", false, "use the paper's full experimental scale")
-		graphs     = flag.Int("graphs", 0, "override dataset graph count")
-		nodes      = flag.Int("nodes", 0, "override graph size")
-		maxDepth   = flag.Int("maxdepth", 0, "override dataset max depth")
-		starts     = flag.Int("starts", 0, "override datagen multistart count")
-		reps       = flag.Int("reps", 0, "override Table I repetitions per graph")
-		testGraphs = flag.Int("test-graphs", -1, "cap on test graphs (0 = all)")
-		trainFrac  = flag.Float64("train-frac", 0, "override train split fraction")
-		maxTarget  = flag.Int("max-target", 0, "override largest target depth")
-		seed       = flag.Int64("seed", 0, "override RNG seed")
-		saveData   = flag.String("save-data", "", "write the generated dataset to this JSON file")
-		csvDir     = flag.String("csv", "", "also write each experiment's result as CSV into this directory")
-		loadData   = flag.String("load-data", "", "load the dataset from this JSON file instead of generating")
-	)
 	flag.Usage = usage
-	flag.Parse()
+	cfg, err := FromFlags(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qaoaml:", err)
+		os.Exit(2)
+	}
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
 
-	scale := experiments.DefaultScale()
-	if *paper {
-		scale = experiments.PaperScale()
-	}
-	if *graphs > 0 {
-		scale.NumGraphs = *graphs
-	}
-	if *nodes > 0 {
-		scale.Nodes = *nodes
-	}
-	if *maxDepth > 0 {
-		scale.MaxDepth = *maxDepth
-	}
-	if *starts > 0 {
-		scale.Starts = *starts
-	}
-	if *reps > 0 {
-		scale.Reps = *reps
-	}
-	if *testGraphs >= 0 {
-		scale.TestGraphs = *testGraphs
-	}
-	if *trainFrac > 0 {
-		scale.TrainFrac = *trainFrac
-	}
-	if *maxTarget > 0 {
-		scale.MaxTarget = *maxTarget
-	}
-	if *seed != 0 {
-		scale.Seed = *seed
+	ctx, cancel := cfg.Context()
+	defer cancel()
+	var mem *telemetry.Memory
+	if cfg.Metrics != "" {
+		mem = telemetry.NewMemory()
 	}
 
-	if err := run(flag.Arg(0), scale, *saveData, *loadData, *csvDir); err != nil {
-		fmt.Fprintln(os.Stderr, "qaoaml:", err)
+	runErr := run(ctx, flag.Arg(0), cfg, mem)
+	if mem != nil {
+		// Dump whatever was collected even when the run was cut short:
+		// partial metrics are exactly what a timed-out sweep leaves behind.
+		if err := writeMetrics(cfg.Metrics, mem); err != nil {
+			fmt.Fprintln(os.Stderr, "qaoaml:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry written to %s\n", cfg.Metrics)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "qaoaml:", runErr)
 		os.Exit(1)
 	}
+}
+
+func writeMetrics(path string, mem *telemetry.Memory) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := mem.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func usage() {
@@ -117,14 +108,19 @@ func needsEnv(name string) bool {
 	return true
 }
 
-func run(name string, scale experiments.Scale, saveData, loadData, csvDir string) error {
+func run(ctx context.Context, name string, cfg RunConfig, mem *telemetry.Memory) error {
 	start := time.Now()
+	scale := cfg.Scale()
+	var rec telemetry.Recorder // stays untyped-nil when -metrics is off
+	if mem != nil {
+		rec = mem
+	}
 	var env *experiments.Env
 	if needsEnv(name) {
 		var err error
-		if loadData != "" {
-			fmt.Printf("loading dataset from %s...\n", loadData)
-			data, lerr := core.LoadFile(loadData)
+		if cfg.LoadData != "" {
+			fmt.Printf("loading dataset from %s...\n", cfg.LoadData)
+			data, lerr := core.LoadFile(cfg.LoadData)
 			if lerr != nil {
 				return lerr
 			}
@@ -132,20 +128,23 @@ func run(name string, scale experiments.Scale, saveData, loadData, csvDir string
 		} else {
 			fmt.Printf("generating dataset: %d graphs × depths 1..%d × %d starts (seed %d)...\n",
 				scale.NumGraphs, scale.MaxDepth, scale.Starts, scale.Seed)
-			env, err = experiments.NewEnv(scale)
+			env, err = experiments.NewEnvCtx(ctx, scale, rec)
 		}
 		if err != nil {
 			return err
 		}
-		if saveData != "" {
-			if err := env.Data.SaveFile(saveData); err != nil {
+		if cfg.SaveData != "" {
+			if err := env.Data.SaveFile(cfg.SaveData); err != nil {
 				return err
 			}
-			fmt.Printf("dataset written to %s\n", saveData)
+			fmt.Printf("dataset written to %s\n", cfg.SaveData)
 		}
 		fmt.Printf("dataset ready in %v: %d optimal parameters, %d train / %d test graphs\n\n",
 			time.Since(start).Round(time.Millisecond), env.Data.NumParams(),
 			len(env.TrainIDs), len(env.TestIDs))
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 
 	// report prints a result and, with -csv, also writes <id>.csv.
@@ -154,10 +153,10 @@ func run(name string, scale experiments.Scale, saveData, loadData, csvDir string
 		CSV() string
 	}) error {
 		fmt.Println(res)
-		if csvDir == "" {
+		if cfg.CSVDir == "" {
 			return nil
 		}
-		path := filepath.Join(csvDir, experiments.CSVName(id))
+		path := filepath.Join(cfg.CSVDir, experiments.CSVName(id))
 		if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
 			return err
 		}

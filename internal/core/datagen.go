@@ -1,14 +1,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"qaoaml/internal/graph"
 	"qaoaml/internal/optimize"
 	"qaoaml/internal/qaoa"
+	"qaoaml/internal/telemetry"
 )
 
 // DataGenConfig describes the paper's dataset generation recipe
@@ -24,6 +27,12 @@ type DataGenConfig struct {
 	Seed      int64              // RNG seed for graphs and starts
 	Workers   int                // parallel workers (default GOMAXPROCS)
 	Optimizer optimize.Optimizer // default L-BFGS-B
+	// Recorder receives datagen telemetry: graph/record counters, the
+	// per-depth FC histograms "datagen.fc.p<d>", per-graph wall-time
+	// observations and the overall "datagen.generate" span, plus the
+	// per-iteration optimizer traces of every run. Shared across all
+	// workers, so the sink must be thread-safe (default telemetry.Nop).
+	Recorder telemetry.Recorder
 }
 
 // DefaultDataGenConfig returns a medium-scale configuration: the
@@ -66,6 +75,7 @@ func (c *DataGenConfig) fillDefaults() error {
 	if c.Optimizer == nil {
 		c.Optimizer = &optimize.LBFGSB{Tol: c.Tol}
 	}
+	c.Recorder = telemetry.OrNop(c.Recorder)
 	return nil
 }
 
@@ -121,6 +131,19 @@ func ParamBounds(p int) *optimize.Bounds {
 // (e.g. the INTERP initialization from the previous depth) replace the
 // same number of random starts, so the total start count is unchanged.
 func OptimizeDepth(pb *qaoa.Problem, graphID, depth, starts int, opt optimize.Optimizer, rng *rand.Rand, seeds ...qaoa.Params) Record {
+	rec, _ := OptimizeDepthCtx(context.Background(), pb, graphID, depth, starts, opt, rng, nil, seeds...)
+	return rec
+}
+
+// OptimizeDepthCtx is OptimizeDepth with cancellation and telemetry:
+// each start runs through optimize.Run with ctx and rec, so deadlines
+// take effect within one optimizer step. On cancellation it returns the
+// best-of-completed-starts record (zero Record if no start finished)
+// together with ctx.Err(); the partially spent NFev is still counted.
+func OptimizeDepthCtx(ctx context.Context, pb *qaoa.Problem, graphID, depth, starts int, opt optimize.Optimizer, rng *rand.Rand, rec telemetry.Recorder, seeds ...qaoa.Params) (Record, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ev := qaoa.NewEvaluator(pb, depth)
 	bounds := ParamBounds(depth)
 	points := make([][]float64, 0, starts)
@@ -137,21 +160,37 @@ func OptimizeDepth(pb *qaoa.Problem, graphID, depth, starts int, opt optimize.Op
 	// stencils through the worker-pool evaluator (bit-identical results,
 	// same NFev); others fall back to ev.NegExpectation serially.
 	be := qaoa.NewBatchEvaluator(pb, depth, 0)
-	ms := optimize.MultiStartFromBatch(opt, ev.NegExpectation, be.EvalBatch, bounds, points)
+	var best optimize.Result
+	completed, totalNFev := 0, 0
+	for _, x0 := range points {
+		r := optimize.Run(ctx, optimize.Problem{F: ev.NegExpectation, Batch: be.EvalBatch, X0: x0, Bounds: bounds},
+			optimize.Options{Optimizer: opt, Recorder: rec})
+		totalNFev += r.NFev
+		if r.Status == optimize.Cancelled {
+			break
+		}
+		if completed == 0 || r.F < best.F {
+			best = r
+		}
+		completed++
+	}
+	if completed == 0 {
+		return Record{GraphID: graphID, Depth: depth, NFev: totalNFev}, ctx.Err()
+	}
 	// Canonicalize so that symmetric copies of the optimum (the QAOA
 	// landscape's β-period and conjugation symmetries) map to one
 	// representative; without this the ML targets are inconsistent
 	// across graphs and the parameter trends of Figs. 2-3 wash out.
-	params := pb.Canonicalize(qaoa.FromVector(ms.Best.X))
+	params := pb.Canonicalize(qaoa.FromVector(best.X))
 	return Record{
 		GraphID: graphID,
 		Depth:   depth,
 		Params:  params,
-		NegF:    ms.Best.F,
+		NegF:    best.F,
 		AR:      pb.ApproximationRatio(params),
-		NFev:    ms.TotalNFev,
-		MeanFev: float64(ms.TotalNFev) / float64(starts),
-	}
+		NFev:    totalNFev,
+		MeanFev: float64(totalNFev) / float64(starts),
+	}, ctx.Err()
 }
 
 // Generate produces the dataset: NumGraphs Erdős–Rényi graphs, each
@@ -160,9 +199,24 @@ func OptimizeDepth(pb *qaoa.Problem, graphID, depth, starts int, opt optimize.Op
 // use independent seeded RNGs so results are reproducible regardless of
 // worker scheduling.
 func Generate(cfg DataGenConfig) (*Data, error) {
+	return GenerateCtx(context.Background(), cfg)
+}
+
+// GenerateCtx is Generate with cancellation: the context is threaded
+// into every optimizer run, so a cancel or deadline takes effect within
+// one optimizer step. On cancellation it returns the partial dataset —
+// Records[g] holds the fully completed depths of graph g (possibly
+// empty) — together with ctx.Err(), so long sweeps can checkpoint what
+// they have. A nil error means the dataset is complete.
+func GenerateCtx(ctx context.Context, cfg DataGenConfig) (*Data, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	endSpan := cfg.Recorder.Span("datagen.generate")
+	defer endSpan()
 	graphRNG := rand.New(rand.NewSource(cfg.Seed))
 	problems := make([]*qaoa.Problem, cfg.NumGraphs)
 	for g := 0; g < cfg.NumGraphs; g++ {
@@ -174,6 +228,13 @@ func Generate(cfg DataGenConfig) (*Data, error) {
 		problems[g] = pb
 	}
 
+	// Per-depth FC histogram names, precomputed so workers don't format
+	// strings while recording.
+	fcMetric := make([]string, cfg.MaxDepth+1)
+	for d := 1; d <= cfg.MaxDepth; d++ {
+		fcMetric[d] = fmt.Sprintf("datagen.fc.p%d", d)
+	}
+
 	records := make([][]Record, cfg.NumGraphs)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Workers)
@@ -183,9 +244,13 @@ func Generate(cfg DataGenConfig) (*Data, error) {
 		go func(g int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			start := time.Now()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(g)*7919 + 13))
-			recs := make([]Record, cfg.MaxDepth)
+			recs := make([]Record, 0, cfg.MaxDepth)
 			for depth := 1; depth <= cfg.MaxDepth; depth++ {
+				if ctx.Err() != nil {
+					break
+				}
 				// Seed one start with the interpolated previous-depth
 				// optimum (Zhou et al. INTERP) so best-of-starts lands in
 				// the regular optimum family the paper's trends rely on.
@@ -193,13 +258,23 @@ func Generate(cfg DataGenConfig) (*Data, error) {
 				if depth > 1 {
 					seeds = append(seeds, qaoa.Interpolate(recs[depth-2].Params))
 				}
-				recs[depth-1] = OptimizeDepth(problems[g], g, depth, cfg.Starts, cfg.Optimizer, rng, seeds...)
+				rec, err := OptimizeDepthCtx(ctx, problems[g], g, depth, cfg.Starts, cfg.Optimizer, rng, cfg.Recorder, seeds...)
+				if err != nil {
+					break // cancelled mid-depth: drop the partial record
+				}
+				recs = append(recs, rec)
+				cfg.Recorder.Count("datagen.records", 1)
+				cfg.Recorder.Observe(fcMetric[depth], float64(rec.NFev))
 			}
 			records[g] = recs
+			if len(recs) == cfg.MaxDepth {
+				cfg.Recorder.Count("datagen.graphs_done", 1)
+				cfg.Recorder.Observe("datagen.graph_ms", float64(time.Since(start).Nanoseconds())/1e6)
+			}
 		}(g)
 	}
 	wg.Wait()
-	return &Data{Config: cfg, Problems: problems, Records: records}, nil
+	return &Data{Config: cfg, Problems: problems, Records: records}, ctx.Err()
 }
 
 // SplitIndices deterministically shuffles graph ids and splits them

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"qaoaml/internal/optimize"
 	"qaoaml/internal/qaoa"
+	"qaoaml/internal/telemetry"
 )
 
 // RunResult is the outcome of one QAOA optimization run (one random or
@@ -19,14 +21,27 @@ type RunResult struct {
 // NaiveRun solves the depth-pt instance from one random initialization
 // (the paper's baseline QCR flow, Fig. 1(a)).
 func NaiveRun(pb *qaoa.Problem, pt int, opt optimize.Optimizer, rng *rand.Rand) RunResult {
+	r, _ := NaiveRunCtx(context.Background(), pb, pt, opt, rng, nil)
+	return r
+}
+
+// NaiveRunCtx is NaiveRun with cancellation and telemetry. On
+// cancellation it returns the optimizer's incumbent (canonicalized)
+// with ctx.Err(), so the partial result is still usable.
+func NaiveRunCtx(ctx context.Context, pb *qaoa.Problem, pt int, opt optimize.Optimizer, rng *rand.Rand, rec telemetry.Recorder) (RunResult, error) {
 	ev := qaoa.NewEvaluator(pb, pt)
 	bounds := ParamBounds(pt)
 	be := qaoa.NewBatchEvaluator(pb, pt, 0)
-	r := optimize.MinimizeWith(opt, ev.NegExpectation, be.EvalBatch, bounds.Random(rng), bounds)
+	r := optimize.Run(ctx, optimize.Problem{F: ev.NegExpectation, Batch: be.EvalBatch, X0: bounds.Random(rng), Bounds: bounds},
+		optimize.Options{Optimizer: opt, Recorder: rec})
 	// Canonical form keeps downstream feature extraction consistent
 	// with the (canonicalized) training dataset.
 	params := pb.Canonicalize(qaoa.FromVector(r.X))
-	return RunResult{Params: params, AR: pb.ApproximationRatio(params), NFev: r.NFev}
+	var err error
+	if r.Status == optimize.Cancelled {
+		err = ctx.Err()
+	}
+	return RunResult{Params: params, AR: pb.ApproximationRatio(params), NFev: r.NFev}, err
 }
 
 // TwoLevelResult is the outcome of the paper's Fig. 4 flow: the depth-1
@@ -50,27 +65,58 @@ func (t TwoLevelResult) AR() float64 { return t.Level2.AR }
 //
 // The returned TotalNFev counts both levels, as the paper does.
 func TwoLevel(pb *qaoa.Problem, pt int, opt optimize.Optimizer, pred *Predictor, rng *rand.Rand) (TwoLevelResult, error) {
+	return TwoLevelCtx(context.Background(), pb, pt, opt, pred, rng, nil)
+}
+
+// TwoLevelCtx is TwoLevel with cancellation and telemetry. Each stage
+// runs under a flow span ("twolevel.level1", "twolevel.predict",
+// "twolevel.level2") on rec, and the context is threaded into both
+// optimizer runs so a cancel or deadline takes effect within one
+// optimizer step. On cancellation it returns the stages completed so
+// far — Level1 alone, or Level1 plus the level-2 incumbent — together
+// with ctx.Err(); TotalNFev always counts the QC calls actually spent.
+func TwoLevelCtx(ctx context.Context, pb *qaoa.Problem, pt int, opt optimize.Optimizer, pred *Predictor, rng *rand.Rand, rec telemetry.Recorder) (TwoLevelResult, error) {
 	if pt < 2 {
 		return TwoLevelResult{}, fmt.Errorf("core: two-level target depth %d < 2", pt)
 	}
-	level1 := NaiveRun(pb, 1, opt, rng)
-	feat := FeaturesFromParams(level1.Params, pt)
-	init, err := pred.Predict(feat)
-	if err != nil {
-		return TwoLevelResult{}, err
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	r := telemetry.OrNop(rec)
+
+	end := r.Span("twolevel.level1")
+	level1, err := NaiveRunCtx(ctx, pb, 1, opt, rng, r)
+	end()
+	if err != nil {
+		return TwoLevelResult{Level1: level1, TotalNFev: level1.NFev}, err
+	}
+
+	end = r.Span("twolevel.predict")
+	init, err := pred.Predict(FeaturesFromParams(level1.Params, pt))
+	end()
+	if err != nil {
+		return TwoLevelResult{Level1: level1, TotalNFev: level1.NFev}, err
+	}
+
+	end = r.Span("twolevel.level2")
 	ev := qaoa.NewEvaluator(pb, pt)
 	bounds := ParamBounds(pt)
 	be := qaoa.NewBatchEvaluator(pb, pt, 0)
-	r := optimize.MinimizeWith(opt, ev.NegExpectation, be.EvalBatch, init.Vector(), bounds)
-	params := pb.Canonicalize(qaoa.FromVector(r.X))
-	level2 := RunResult{Params: params, AR: pb.ApproximationRatio(params), NFev: r.NFev}
-	return TwoLevelResult{
+	res := optimize.Run(ctx, optimize.Problem{F: ev.NegExpectation, Batch: be.EvalBatch, X0: init.Vector(), Bounds: bounds},
+		optimize.Options{Optimizer: opt, Recorder: r})
+	end()
+	params := pb.Canonicalize(qaoa.FromVector(res.X))
+	level2 := RunResult{Params: params, AR: pb.ApproximationRatio(params), NFev: res.NFev}
+	out := TwoLevelResult{
 		Level1:    level1,
 		Predicted: init,
 		Level2:    level2,
 		TotalNFev: level1.NFev + level2.NFev,
-	}, nil
+	}
+	if res.Status == optimize.Cancelled {
+		return out, ctx.Err()
+	}
+	return out, nil
 }
 
 // HierarchicalResult is the outcome of the hierarchical flow: depth-1,

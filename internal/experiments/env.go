@@ -8,11 +8,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"qaoaml/internal/core"
 	"qaoaml/internal/ml"
 	"qaoaml/internal/optimize"
+	"qaoaml/internal/telemetry"
 )
 
 // Scale collects the knobs that trade fidelity for run time. The
@@ -28,6 +30,7 @@ type Scale struct {
 	Reps       int     // runs per (graph, optimizer, depth) in Table I (paper: 20)
 	TestGraphs int     // cap on test graphs used by Table I / Fig. 6 (0 = all)
 	MaxTarget  int     // largest target depth evaluated (paper: 5)
+	Workers    int     // datagen parallelism (0 = GOMAXPROCS)
 	Seed       int64
 }
 
@@ -96,6 +99,15 @@ type Env struct {
 
 // NewEnv generates the dataset and trains the default (GPR) predictor.
 func NewEnv(s Scale) (*Env, error) {
+	return NewEnvCtx(context.Background(), s, nil)
+}
+
+// NewEnvCtx is NewEnv with cancellation and telemetry: the context and
+// recorder are threaded through dataset generation, so a deadline stops
+// the sweep within one optimizer step. Unlike core.GenerateCtx it does
+// not return a partial Env — an interrupted dataset cannot back a fair
+// experiment — so cancellation surfaces as an error.
+func NewEnvCtx(ctx context.Context, s Scale, rec telemetry.Recorder) (*Env, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -107,10 +119,12 @@ func NewEnv(s Scale) (*Env, error) {
 		Starts:    s.Starts,
 		Tol:       1e-6,
 		Seed:      s.Seed,
+		Workers:   s.Workers,
+		Recorder:  rec,
 	}
-	data, err := core.Generate(cfg)
+	data, err := core.GenerateCtx(ctx, cfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: dataset generation: %w", err)
 	}
 	return NewEnvFromData(s, data)
 }

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -37,15 +38,11 @@ type BatchMinimizer interface {
 	MinimizeBatch(f Func, bf BatchFunc, x0 []float64, bounds *Bounds) Result
 }
 
-// MinimizeWith dispatches to MinimizeBatch when the optimizer supports
-// batched probes and bf is non-nil, else to the plain serial Minimize.
+// MinimizeWith dispatches to the batched probe path when the optimizer
+// supports it and bf is non-nil, else to the plain serial path. It is a
+// thin wrapper around Run with a background context.
 func MinimizeWith(opt Optimizer, f Func, bf BatchFunc, x0 []float64, bounds *Bounds) Result {
-	if bf != nil {
-		if bm, ok := opt.(BatchMinimizer); ok {
-			return bm.MinimizeBatch(f, bf, x0, bounds)
-		}
-	}
-	return opt.Minimize(f, x0, bounds)
+	return Run(context.Background(), Problem{F: f, Batch: bf, X0: x0, Bounds: bounds}, Options{Optimizer: opt})
 }
 
 // MultiStartFromBatch behaves like MultiStartFrom with batched probe

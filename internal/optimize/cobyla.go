@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"math"
 
 	"qaoaml/internal/linalg"
@@ -24,7 +25,15 @@ func (o *COBYLA) Name() string { return "COBYLA" }
 
 // Minimize implements Optimizer.
 func (o *COBYLA) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
-	x := prepareStart(x0, bounds)
+	return Run(context.Background(), Problem{F: f, X0: x0, Bounds: bounds}, Options{Optimizer: o})
+}
+
+// run implements the runner hook behind Run. Per-iteration events
+// report the simplex function-value spread (GNorm) and the trust-region
+// radius ρ (Step).
+func (o *COBYLA) run(env *runEnv) Result {
+	f, bounds := env.f, env.bounds
+	x := prepareStart(env.x0, bounds)
 	n := len(x)
 	rhoEnd := tolOrDefault(o.Tol)
 	rho := o.RhoBeg
@@ -35,7 +44,7 @@ func (o *COBYLA) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 		rho = rhoEnd * 10
 	}
 	maxIter := maxIterOrDefault(o.MaxIter, 500*n)
-	maxFev := maxIterOrDefault(o.MaxFev, 1000*n)
+	maxFev := env.capFev(maxIterOrDefault(o.MaxFev, 1000*n))
 	cnt := &counter{f: f}
 
 	rhoBeg := rho
@@ -53,9 +62,19 @@ func (o *COBYLA) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 	stallWindow := 4*n + 6
 	stall := 0
 	lastBest := simplex[0].f
+	cancelled := false
 	msg := "max iterations reached"
 	for ; iters < maxIter && cnt.n < maxFev; iters++ {
 		sortSimplex(simplex)
+		if env.stop(&msg) {
+			cancelled = true
+			break
+		}
+		if env.emit(iters, simplex[0].f, spread(simplex), rho, cnt.n) {
+			cancelled = true
+			msg = callbackStopMsg
+			break
+		}
 		if rho <= rhoEnd {
 			converged = true
 			msg = "trust region collapsed to tolerance"
@@ -148,12 +167,13 @@ func (o *COBYLA) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 		}
 	}
 	sortSimplex(simplex)
-	if !converged && cnt.n >= maxFev {
+	if !converged && !cancelled && cnt.n >= maxFev {
 		msg = "function evaluation budget exhausted"
 	}
 	return Result{
 		X: simplex[0].x, F: simplex[0].f,
-		NFev: cnt.n, Iters: iters, Converged: converged, Message: msg,
+		NFev: cnt.n, Iters: iters, Converged: converged,
+		Status: statusOf(converged, cancelled), Message: msg,
 	}
 }
 

@@ -1,5 +1,7 @@
 package optimize
 
+import "context"
+
 // LBFGSB is a limited-memory BFGS method with gradient projection for
 // box constraints, the same algorithm family as SciPy's L-BFGS-B.
 // Gradients are finite differences, so — as on real quantum hardware —
@@ -19,7 +21,7 @@ func (o *LBFGSB) Name() string { return "L-BFGS-B" }
 
 // Minimize implements Optimizer.
 func (o *LBFGSB) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
-	return o.minimize(f, nil, x0, bounds)
+	return Run(context.Background(), Problem{F: f, X0: x0, Bounds: bounds}, Options{Optimizer: o})
 }
 
 // MinimizeBatch implements BatchMinimizer: finite-difference gradient
@@ -27,15 +29,19 @@ func (o *LBFGSB) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 // objective may run them concurrently); everything else — and the
 // resulting trajectory, NFev and Result — is identical to Minimize.
 func (o *LBFGSB) MinimizeBatch(f Func, bf BatchFunc, x0 []float64, bounds *Bounds) Result {
-	return o.minimize(f, bf, x0, bounds)
+	return Run(context.Background(), Problem{F: f, Batch: bf, X0: x0, Bounds: bounds}, Options{Optimizer: o})
 }
 
-func (o *LBFGSB) minimize(f Func, bf BatchFunc, x0 []float64, bounds *Bounds) Result {
-	x := prepareStart(x0, bounds)
+// run implements the runner hook behind Run. Per-iteration events
+// report the projected-gradient ∞-norm and the accepted line-search
+// step of the previous iteration.
+func (o *LBFGSB) run(env *runEnv) Result {
+	f, bf, bounds := env.f, env.bf, env.bounds
+	x := prepareStart(env.x0, bounds)
 	n := len(x)
 	tol := tolOrDefault(o.Tol)
 	maxIter := maxIterOrDefault(o.MaxIter, 100*n)
-	maxFev := maxIterOrDefault(o.MaxFev, 2000*n)
+	maxFev := env.capFev(maxIterOrDefault(o.MaxFev, 2000*n))
 	mem := o.Memory
 	if mem <= 0 {
 		mem = 10
@@ -63,9 +69,21 @@ func (o *LBFGSB) minimize(f Func, bf BatchFunc, x0 []float64, bounds *Bounds) Re
 
 	iters := 0
 	converged := false
+	cancelled := false
+	alpha := 0.0 // accepted step of the previous iteration
 	msg := "max iterations reached"
 	for ; iters < maxIter && cnt.n < maxFev; iters++ {
-		if projectedGradientNorm(x, g, bounds) <= tol {
+		if env.stop(&msg) {
+			cancelled = true
+			break
+		}
+		pg := projectedGradientNorm(x, g, bounds)
+		if env.emit(iters, fx, pg, alpha, cnt.n) {
+			cancelled = true
+			msg = callbackStopMsg
+			break
+		}
+		if pg <= tol {
 			converged = true
 			msg = "projected gradient below tolerance"
 			break
@@ -106,11 +124,12 @@ func (o *LBFGSB) minimize(f Func, bf BatchFunc, x0 []float64, bounds *Bounds) Re
 
 		// Projected backtracking (Armijo) line search along clip(x + α·d),
 		// writing the accepted point into the xt buffer.
-		fNew, ok := projectedLineSearch(cnt, x, fx, g, d, bounds, maxFev, xt)
+		fNew, a, ok := projectedLineSearch(cnt, x, fx, g, d, bounds, maxFev, xt)
 		if !ok {
 			msg = "line search failed to make progress"
 			break
 		}
+		alpha = a
 
 		grad(gNew, xt, fNew)
 		// Curvature update.
@@ -144,10 +163,11 @@ func (o *LBFGSB) minimize(f Func, bf BatchFunc, x0 []float64, bounds *Bounds) Re
 			break
 		}
 	}
-	if !converged && cnt.n >= maxFev {
+	if !converged && !cancelled && cnt.n >= maxFev {
 		msg = "function evaluation budget exhausted"
 	}
-	return Result{X: x, F: fx, NFev: cnt.n, Iters: iters, Converged: converged, Message: msg}
+	return Result{X: x, F: fx, NFev: cnt.n, Iters: iters, Converged: converged,
+		Status: statusOf(converged, cancelled), Message: msg}
 }
 
 // twoLoop computes H·g with the standard L-BFGS two-loop recursion,
@@ -183,10 +203,11 @@ func twoLoop(g []float64, sHist, yHist [][]float64, rhoHist []float64) []float64
 
 // projectedLineSearch backtracks along clip(x + α·d) with an Armijo
 // condition on the projected step, writing each candidate into the
-// caller-provided xt buffer. On success xt holds the accepted point.
-func projectedLineSearch(cnt *counter, x []float64, fx float64, g, d []float64, bounds *Bounds, maxFev int, xt []float64) (fNew float64, ok bool) {
+// caller-provided xt buffer. On success xt holds the accepted point and
+// alpha the accepted step length.
+func projectedLineSearch(cnt *counter, x []float64, fx float64, g, d []float64, bounds *Bounds, maxFev int, xt []float64) (fNew, alpha float64, ok bool) {
 	const c1 = 1e-4
-	alpha := 1.0
+	alpha = 1.0
 	for try := 0; try < 30 && cnt.n < maxFev; try++ {
 		for i := range xt {
 			xt[i] = x[i] + alpha*d[i]
@@ -203,15 +224,15 @@ func projectedLineSearch(cnt *counter, x []float64, fx float64, g, d []float64, 
 			gTdx += g[i] * dx
 		}
 		if !moved {
-			return 0, false
+			return 0, 0, false
 		}
 		ft := cnt.call(xt)
 		if ft <= fx+c1*gTdx || (gTdx >= 0 && ft < fx) {
-			return ft, true
+			return ft, alpha, true
 		}
 		alpha /= 2
 	}
-	return 0, false
+	return 0, 0, false
 }
 
 func dot(a, b []float64) float64 {

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"math"
 	"sort"
 )
@@ -28,7 +29,14 @@ type vertex struct {
 
 // Minimize implements Optimizer.
 func (nm *NelderMead) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
-	x := prepareStart(x0, bounds)
+	return Run(context.Background(), Problem{F: f, X0: x0, Bounds: bounds}, Options{Optimizer: nm})
+}
+
+// run implements the runner hook behind Run. Per-iteration events
+// report the simplex function-value spread (GNorm) and diameter (Step).
+func (nm *NelderMead) run(env *runEnv) Result {
+	f, bounds := env.f, env.bounds
+	x := prepareStart(env.x0, bounds)
 	n := len(x)
 	tol := tolOrDefault(nm.Tol)
 	xtol := nm.XTol
@@ -36,7 +44,7 @@ func (nm *NelderMead) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 		xtol = 1e-6
 	}
 	maxIter := maxIterOrDefault(nm.MaxIter, 200*n)
-	maxFev := maxIterOrDefault(nm.MaxFev, 400*n)
+	maxFev := env.capFev(maxIterOrDefault(nm.MaxFev, 400*n))
 	cnt := &counter{f: f}
 
 	// Reflection, expansion, contraction, shrink coefficients.
@@ -73,9 +81,20 @@ func (nm *NelderMead) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 	sortSimplex(simplex)
 	iters := 0
 	converged := false
+	cancelled := false
 	msg := "max iterations reached"
 	for ; iters < maxIter && cnt.n < maxFev; iters++ {
-		if spread(simplex) <= tol && diameter(simplex) <= xtol {
+		if env.stop(&msg) {
+			cancelled = true
+			break
+		}
+		sp, dia := spread(simplex), diameter(simplex)
+		if env.emit(iters, simplex[0].f, sp, dia, cnt.n) {
+			cancelled = true
+			msg = callbackStopMsg
+			break
+		}
+		if sp <= tol && dia <= xtol {
 			converged = true
 			msg = "simplex spread below tolerance"
 			break
@@ -129,12 +148,13 @@ func (nm *NelderMead) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 		}
 		sortSimplex(simplex)
 	}
-	if !converged && cnt.n >= maxFev {
+	if !converged && !cancelled && cnt.n >= maxFev {
 		msg = "function evaluation budget exhausted"
 	}
 	return Result{
 		X: simplex[0].x, F: simplex[0].f,
-		NFev: cnt.n, Iters: iters, Converged: converged, Message: msg,
+		NFev: cnt.n, Iters: iters, Converged: converged,
+		Status: statusOf(converged, cancelled), Message: msg,
 	}
 }
 

@@ -1,9 +1,17 @@
-// Package optimize implements the four classical local optimizers the
-// paper drives its QAOA loop with: two gradient-based methods
-// (L-BFGS-B and SLSQP, both using finite-difference gradients so every
-// gradient costs function calls, as on a real quantum computer) and two
-// derivative-free methods (Nelder-Mead and COBYLA). All four support
-// box bounds, the only constraint kind the QAOA parameter domain needs.
+// Package optimize implements the classical local optimizers the paper
+// drives its QAOA loop with: two gradient-based methods (L-BFGS-B and
+// SLSQP, both using finite-difference gradients so every gradient costs
+// function calls, as on a real quantum computer), two derivative-free
+// methods (Nelder-Mead and COBYLA), and SPSA as a hardware-practical
+// extension. All support box bounds, the only constraint kind the QAOA
+// parameter domain needs.
+//
+// Run(ctx, Problem, Options) is the context-first entry point: it
+// honors cancellation and deadlines (checked once per outer iteration),
+// emits per-iteration traces and per-run FC/latency observations
+// through a telemetry.Recorder, and reports the termination cause in
+// Result.Status. Minimize, MinimizeBatch and MinimizeWith are thin
+// wrappers around it.
 //
 // The implementations follow the same algorithm families as the SciPy
 // routines the paper uses; see DESIGN.md for the substitution notes.
@@ -89,6 +97,33 @@ func (b *Bounds) Width() []float64 {
 	return w
 }
 
+// Status is the termination cause of a run, so callers no longer infer
+// it from NIter/NFev heuristics.
+type Status uint8
+
+const (
+	// MaxIter is the zero value: the iteration or evaluation budget ran
+	// out (or the algorithm stalled) before the tolerance was met.
+	MaxIter Status = iota
+	// Converged means the configured tolerance was met.
+	Converged
+	// Cancelled means the run was stopped externally — context
+	// cancellation, a deadline, or a callback requesting stop.
+	Cancelled
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Converged:
+		return "converged"
+	case Cancelled:
+		return "cancelled"
+	default:
+		return "maxiter"
+	}
+}
+
 // Result reports the outcome of a minimization.
 type Result struct {
 	X         []float64 // best point found
@@ -96,6 +131,7 @@ type Result struct {
 	NFev      int       // function evaluations consumed
 	Iters     int       // outer iterations
 	Converged bool      // tolerance met (vs. budget exhausted)
+	Status    Status    // termination cause (Converged/MaxIter/Cancelled)
 	Message   string    // human-readable termination reason
 }
 

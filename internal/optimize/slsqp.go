@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"math"
 
 	"qaoaml/internal/linalg"
@@ -29,7 +30,7 @@ func (o *SLSQP) Name() string { return "SLSQP" }
 
 // Minimize implements Optimizer.
 func (o *SLSQP) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
-	return o.minimize(f, nil, x0, bounds)
+	return Run(context.Background(), Problem{F: f, X0: x0, Bounds: bounds}, Options{Optimizer: o})
 }
 
 // MinimizeBatch implements BatchMinimizer: finite-difference gradient
@@ -37,15 +38,19 @@ func (o *SLSQP) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 // objective may run them concurrently); everything else — and the
 // resulting trajectory, NFev and Result — is identical to Minimize.
 func (o *SLSQP) MinimizeBatch(f Func, bf BatchFunc, x0 []float64, bounds *Bounds) Result {
-	return o.minimize(f, bf, x0, bounds)
+	return Run(context.Background(), Problem{F: f, Batch: bf, X0: x0, Bounds: bounds}, Options{Optimizer: o})
 }
 
-func (o *SLSQP) minimize(f Func, bf BatchFunc, x0 []float64, bounds *Bounds) Result {
-	x := prepareStart(x0, bounds)
+// run implements the runner hook behind Run. Per-iteration events
+// report the projected-gradient ∞-norm and the previous accepted
+// line-search step.
+func (o *SLSQP) run(env *runEnv) Result {
+	f, bf, bounds := env.f, env.bf, env.bounds
+	x := prepareStart(env.x0, bounds)
 	n := len(x)
 	tol := tolOrDefault(o.Tol)
 	maxIter := maxIterOrDefault(o.MaxIter, 100*n)
-	maxFev := maxIterOrDefault(o.MaxFev, 2000*n)
+	maxFev := env.capFev(maxIterOrDefault(o.MaxFev, 2000*n))
 	sweeps := maxIterOrDefault(o.QPSweep, 30)
 	cnt := &counter{f: f}
 	gws := NewGradientWorkspace(n)
@@ -67,9 +72,21 @@ func (o *SLSQP) minimize(f Func, bf BatchFunc, x0 []float64, bounds *Bounds) Res
 
 	iters := 0
 	converged := false
+	cancelled := false
+	lastAlpha := 0.0
 	msg := "max iterations reached"
 	for ; iters < maxIter && cnt.n < maxFev; iters++ {
-		if projectedGradientNorm(x, g, bounds) <= tol {
+		if env.stop(&msg) {
+			cancelled = true
+			break
+		}
+		pg := projectedGradientNorm(x, g, bounds)
+		if env.emit(iters, fx, pg, lastAlpha, cnt.n) {
+			cancelled = true
+			msg = callbackStopMsg
+			break
+		}
+		if pg <= tol {
 			converged = true
 			msg = "projected gradient below tolerance"
 			break
@@ -107,6 +124,7 @@ func (o *SLSQP) minimize(f Func, bf BatchFunc, x0 []float64, bounds *Bounds) Res
 			msg = "line search failed to make progress"
 			break
 		}
+		lastAlpha = alpha
 
 		grad(gNew, xls, fNew)
 		updateDampedBFGS(b, x, xls, g, gNew)
@@ -122,10 +140,11 @@ func (o *SLSQP) minimize(f Func, bf BatchFunc, x0 []float64, bounds *Bounds) Res
 			break
 		}
 	}
-	if !converged && cnt.n >= maxFev {
+	if !converged && !cancelled && cnt.n >= maxFev {
 		msg = "function evaluation budget exhausted"
 	}
-	return Result{X: x, F: fx, NFev: cnt.n, Iters: iters, Converged: converged, Message: msg}
+	return Result{X: x, F: fx, NFev: cnt.n, Iters: iters, Converged: converged,
+		Status: statusOf(converged, cancelled), Message: msg}
 }
 
 // solveBoxQP minimizes gᵀd + ½dᵀBd subject to lo−x ≤ d ≤ hi−x by cyclic

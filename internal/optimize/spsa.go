@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"math"
 	"math/rand"
 )
@@ -31,11 +32,19 @@ func (o *SPSA) Name() string { return "SPSA" }
 
 // Minimize implements Optimizer.
 func (o *SPSA) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
-	x := prepareStart(x0, bounds)
+	return Run(context.Background(), Problem{F: f, X0: x0, Bounds: bounds}, Options{Optimizer: o})
+}
+
+// run implements the runner hook behind Run. Per-iteration events
+// report the previous pseudo-gradient ∞-norm (GNorm) and the current
+// gain a_k (Step).
+func (o *SPSA) run(env *runEnv) Result {
+	f, bounds := env.f, env.bounds
+	x := prepareStart(env.x0, bounds)
 	n := len(x)
 	tol := tolOrDefault(o.Tol)
 	maxIter := maxIterOrDefault(o.MaxIter, 300*n)
-	maxFev := maxIterOrDefault(o.MaxFev, 2000*n)
+	maxFev := env.capFev(maxIterOrDefault(o.MaxFev, 2000*n))
 	alpha := o.Alpha
 	if alpha <= 0 {
 		alpha = 0.602
@@ -72,6 +81,8 @@ func (o *SPSA) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 	stallWindow := 10 * n
 	iters := 0
 	converged := false
+	cancelled := false
+	ghatNorm := 0.0 // ∞-norm of the previous pseudo-gradient
 	msg := "max iterations reached"
 	delta := make([]float64, n)
 	xp := make([]float64, n)
@@ -80,6 +91,15 @@ func (o *SPSA) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 		k := float64(iters)
 		ak := a / math.Pow(k+1+50, alpha)
 		ck := c / math.Pow(k+1, gamma)
+		if env.stop(&msg) {
+			cancelled = true
+			break
+		}
+		if env.emit(iters, fBest, ghatNorm, ak, cnt.n) {
+			cancelled = true
+			msg = callbackStopMsg
+			break
+		}
 		for i := range delta {
 			if rng.Intn(2) == 0 {
 				delta[i] = 1
@@ -93,8 +113,12 @@ func (o *SPSA) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 		bounds.Clip(xm)
 		fp := cnt.call(xp)
 		fm := cnt.call(xm)
+		ghatNorm = 0
 		for i := range x {
 			ghat := (fp - fm) / (2 * ck * delta[i])
+			if g := math.Abs(ghat); g > ghatNorm {
+				ghatNorm = g
+			}
 			x[i] -= ak * ghat
 		}
 		bounds.Clip(x)
@@ -126,8 +150,9 @@ func (o *SPSA) Minimize(f Func, x0 []float64, bounds *Bounds) Result {
 			copy(best, x)
 		}
 	}
-	if !converged && cnt.n >= maxFev-1 {
+	if !converged && !cancelled && cnt.n >= maxFev-1 {
 		msg = "function evaluation budget exhausted"
 	}
-	return Result{X: best, F: fBest, NFev: cnt.n, Iters: iters, Converged: converged, Message: msg}
+	return Result{X: best, F: fBest, NFev: cnt.n, Iters: iters, Converged: converged,
+		Status: statusOf(converged, cancelled), Message: msg}
 }

@@ -1,0 +1,28 @@
+package telemetry
+
+import (
+	"context"
+	"expvar"
+	"runtime/pprof"
+)
+
+// PublishExpvar registers a live view of the sink under the given
+// expvar name (served at /debug/vars when net/http/pprof or expvar's
+// handler is mounted). Each scrape re-snapshots the sink. It returns
+// false — instead of panicking, as expvar.Publish would — if the name
+// is already taken, so tests and restarted components can call it
+// unconditionally.
+func (m *Memory) PublishExpvar(name string) bool {
+	if expvar.Get(name) != nil {
+		return false
+	}
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+	return true
+}
+
+// PprofDo runs fn with the span name attached as a pprof label
+// ("telemetry_span"), so CPU profiles taken during long flows (dataset
+// generation, two-level solves) attribute samples to pipeline stages.
+func PprofDo(ctx context.Context, span string, fn func(context.Context)) {
+	pprof.Do(ctx, pprof.Labels("telemetry_span", span), fn)
+}
