@@ -7,6 +7,7 @@ package qaoaml
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -531,6 +532,57 @@ func BenchmarkGradientWorkspace(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			_, _ = ws.GradientBatch(dst, be.EvalBatch, x, fx, bounds, optimize.CentralDiff, 1e-6)
+		}
+	})
+}
+
+// BenchmarkGradientAdjoint measures one adjoint-mode value+gradient
+// sweep per depth — the analytic replacement for the 4p-evaluation
+// central-difference stencil in BenchmarkGradientWorkspace.
+func BenchmarkGradientAdjoint(b *testing.B) {
+	pb := benchProblem(b)
+	for _, depth := range []int{1, 3, 5} {
+		b.Run(map[int]string{1: "p1", 3: "p3", 5: "p5"}[depth], func(b *testing.B) {
+			ev := qaoa.NewEvaluator(pb, depth)
+			x := core.ParamBounds(depth).Random(rand.New(rand.NewSource(20)))
+			grad := make([]float64, len(x))
+			_ = ev.NegValueGrad(x, grad) // warm the workspace + adjoint buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = ev.NegValueGrad(x, grad)
+			}
+		})
+	}
+}
+
+// BenchmarkLBFGSBGradientPath runs L-BFGS-B to convergence on the same
+// depth-5 instance from the same start with finite-difference vs
+// adjoint gradients — the end-to-end speedup the adjoint engine buys.
+func BenchmarkLBFGSBGradientPath(b *testing.B) {
+	pb := benchProblem(b)
+	bounds := core.ParamBounds(5)
+	x0 := bounds.Random(rand.New(rand.NewSource(21)))
+	b.Run("fd", func(b *testing.B) {
+		ev := qaoa.NewEvaluator(pb, 5)
+		for i := 0; i < b.N; i++ {
+			r := optimize.Run(context.Background(),
+				optimize.Problem{F: ev.NegExpectation, X0: x0, Bounds: bounds},
+				optimize.Options{Optimizer: &optimize.LBFGSB{}})
+			if r.NFev == 0 {
+				b.Fatal("no evaluations")
+			}
+		}
+	})
+	b.Run("adjoint", func(b *testing.B) {
+		ev := qaoa.NewEvaluator(pb, 5)
+		for i := 0; i < b.N; i++ {
+			r := optimize.Run(context.Background(),
+				optimize.Problem{F: ev.NegExpectation, Grad: ev.NegGrad, X0: x0, Bounds: bounds},
+				optimize.Options{Optimizer: &optimize.LBFGSB{}})
+			if r.NGev == 0 {
+				b.Fatal("no gradient evaluations")
+			}
 		}
 	})
 }

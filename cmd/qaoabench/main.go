@@ -21,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -44,7 +45,9 @@ type Entry struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Seconds     float64 `json:"seconds,omitempty"` // wall-clock benches
 	NFev        int     `json:"nfev,omitempty"`    // objective evaluations
+	NGev        int     `json:"ngev,omitempty"`    // analytic gradient evaluations
 	EvalsPerSec float64 `json:"evals_per_sec,omitempty"`
+	FinalF      float64 `json:"final_f,omitempty"` // converged objective (e2e benches)
 }
 
 // Report is the top-level JSON document.
@@ -53,8 +56,14 @@ type Report struct {
 	GoVersion  string  `json:"go_version"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	Timestamp  string  `json:"timestamp"`
-	Entries    []Entry `json:"entries"`
+	// History holds the timestamps of prior runs merged into this file,
+	// newest first, capped at maxHistory.
+	History []string `json:"history,omitempty"`
+	Entries []Entry  `json:"entries"`
 }
+
+// maxHistory caps how many prior-run timestamps a report accumulates.
+const maxHistory = 10
 
 func main() {
 	var (
@@ -146,6 +155,63 @@ func main() {
 		}
 	}))
 
+	// Adjoint-mode value+gradient: one reverse sweep replaces the whole
+	// 4p-evaluation central-difference stencil above.
+	for _, depth := range []int{1, 2, 3, 4, 5} {
+		aev := qaoa.NewEvaluator(pb, depth)
+		ax := core.ParamBounds(depth).Random(rng)
+		agrad := make([]float64, len(ax))
+		_ = aev.NegValueGrad(ax, agrad) // warm the workspace + adjoint buffer
+		rep.add(fmt.Sprintf("grad/p%d", depth), bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = aev.NegValueGrad(ax, agrad)
+			}
+		}))
+	}
+
+	// End-to-end L-BFGS-B at depth 5 from one fixed start: the adjoint
+	// path must reach the same optimum (⟨C⟩ within 1e-6) in a fraction
+	// of the finite-difference wall clock.
+	b5 := core.ParamBounds(5)
+	x05 := b5.Random(rng)
+	evFD := qaoa.NewEvaluator(pb, 5)
+	beFD := qaoa.NewBatchEvaluator(pb, 5, 0)
+	evAD := qaoa.NewEvaluator(pb, 5)
+	// Tol well below the 1e-6 agreement bar so both paths grind into the
+	// same optimum rather than stopping wherever the relative f-change
+	// first dips under the default tolerance.
+	lb := &optimize.LBFGSB{Tol: 1e-12}
+	runFD := func() optimize.Result {
+		return optimize.Run(context.Background(),
+			optimize.Problem{F: evFD.NegExpectation, Batch: beFD.EvalBatch, X0: x05, Bounds: b5},
+			optimize.Options{Optimizer: lb})
+	}
+	runAD := func() optimize.Result {
+		return optimize.Run(context.Background(),
+			optimize.Problem{F: evAD.NegExpectation, Grad: evAD.NegGrad, X0: x05, Bounds: b5},
+			optimize.Options{Optimizer: lb})
+	}
+	rFD, rAD := runFD(), runAD()
+	if diff := math.Abs(rFD.F - rAD.F); diff > 1e-6 {
+		fatal(fmt.Errorf("adjoint optimum %.9f disagrees with FD optimum %.9f (|Δ| = %.3g)", -rAD.F, -rFD.F, diff))
+	}
+	eFD := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = runFD()
+		}
+	})
+	eFD.NFev, eFD.FinalF = rFD.NFev, rFD.F
+	eFD.EvalsPerSec = float64(eFD.NFev) / (eFD.NsPerOp * 1e-9)
+	rep.add("e2e/lbfgsb-fd-p5", eFD)
+	eAD := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = runAD()
+		}
+	})
+	eAD.NFev, eAD.NGev, eAD.FinalF = rAD.NFev, rAD.NGev, rAD.F
+	eAD.EvalsPerSec = float64(eAD.NFev) / (eAD.NsPerOp * 1e-9)
+	rep.add("e2e/lbfgsb-adjoint-p5", eAD)
+
 	if !*quick {
 		// The -timeout clock starts here so the micro benchmarks above
 		// can't eat the wall-clock experiments' budget.
@@ -206,6 +272,9 @@ func main() {
 		}
 	}
 
+	if *out != "-" {
+		rep.merge(*out)
+	}
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -262,6 +331,44 @@ func wallclock(fn func() int) Entry {
 		e.EvalsPerSec = float64(nfev) / secs
 	}
 	return e
+}
+
+// merge folds a previous report at path into r so partial runs (e.g.
+// -quick) no longer clobber results they did not re-measure: entries
+// are keyed by name with this run winning, entries only the old file
+// has are kept, and the old timestamp joins History (newest first,
+// capped at maxHistory). A missing or unreadable file is a first run;
+// a corrupt one is overwritten.
+func (r *Report) merge(path string) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	var old Report
+	if json.Unmarshal(blob, &old) != nil {
+		return
+	}
+	fresh := make(map[string]bool, len(r.Entries))
+	for _, e := range r.Entries {
+		fresh[e.Name] = true
+	}
+	kept := 0
+	for _, e := range old.Entries {
+		if !fresh[e.Name] {
+			r.Entries = append(r.Entries, e)
+			kept++
+		}
+	}
+	if old.Timestamp != "" {
+		r.History = append(r.History, old.Timestamp)
+	}
+	r.History = append(r.History, old.History...)
+	if len(r.History) > maxHistory {
+		r.History = r.History[:maxHistory]
+	}
+	if kept > 0 {
+		fmt.Fprintf(os.Stderr, "merged %d prior entries from %s\n", kept, path)
+	}
 }
 
 // add records the entry and prints a progress line to stderr (stdout is

@@ -156,14 +156,15 @@ func OptimizeDepthCtx(ctx context.Context, pb *qaoa.Problem, graphID, depth, sta
 	for len(points) < starts {
 		points = append(points, bounds.Random(rng))
 	}
-	// Batch-capable optimizers evaluate their finite-difference probe
-	// stencils through the worker-pool evaluator (bit-identical results,
-	// same NFev); others fall back to ev.NegExpectation serially.
+	// Gradient-based optimizers take the adjoint path (Grad), so a
+	// gradient costs one reverse sweep instead of 2n evaluations; the
+	// batch evaluator stays wired up for optimizers that still probe
+	// finite-difference stencils.
 	be := qaoa.NewBatchEvaluator(pb, depth, 0)
 	var best optimize.Result
 	completed, totalNFev := 0, 0
 	for _, x0 := range points {
-		r := optimize.Run(ctx, optimize.Problem{F: ev.NegExpectation, Batch: be.EvalBatch, X0: x0, Bounds: bounds},
+		r := optimize.Run(ctx, optimize.Problem{F: ev.NegExpectation, Batch: be.EvalBatch, Grad: ev.NegGrad, X0: x0, Bounds: bounds},
 			optimize.Options{Optimizer: opt, Recorder: rec})
 		totalNFev += r.NFev
 		if r.Status == optimize.Cancelled {

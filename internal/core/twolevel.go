@@ -32,7 +32,7 @@ func NaiveRunCtx(ctx context.Context, pb *qaoa.Problem, pt int, opt optimize.Opt
 	ev := qaoa.NewEvaluator(pb, pt)
 	bounds := ParamBounds(pt)
 	be := qaoa.NewBatchEvaluator(pb, pt, 0)
-	r := optimize.Run(ctx, optimize.Problem{F: ev.NegExpectation, Batch: be.EvalBatch, X0: bounds.Random(rng), Bounds: bounds},
+	r := optimize.Run(ctx, optimize.Problem{F: ev.NegExpectation, Batch: be.EvalBatch, Grad: ev.NegGrad, X0: bounds.Random(rng), Bounds: bounds},
 		optimize.Options{Optimizer: opt, Recorder: rec})
 	// Canonical form keeps downstream feature extraction consistent
 	// with the (canonicalized) training dataset.
@@ -102,7 +102,7 @@ func TwoLevelCtx(ctx context.Context, pb *qaoa.Problem, pt int, opt optimize.Opt
 	ev := qaoa.NewEvaluator(pb, pt)
 	bounds := ParamBounds(pt)
 	be := qaoa.NewBatchEvaluator(pb, pt, 0)
-	res := optimize.Run(ctx, optimize.Problem{F: ev.NegExpectation, Batch: be.EvalBatch, X0: init.Vector(), Bounds: bounds},
+	res := optimize.Run(ctx, optimize.Problem{F: ev.NegExpectation, Batch: be.EvalBatch, Grad: ev.NegGrad, X0: init.Vector(), Bounds: bounds},
 		optimize.Options{Optimizer: opt, Recorder: r})
 	end()
 	params := pb.Canonicalize(qaoa.FromVector(res.X))
@@ -150,7 +150,9 @@ func Hierarchical(pb *qaoa.Problem, pt int, opt optimize.Optimizer, pred *Predic
 	}
 	ev2 := qaoa.NewEvaluator(pb, 2)
 	be2 := qaoa.NewBatchEvaluator(pb, 2, 0)
-	r2 := optimize.MinimizeWith(opt, ev2.NegExpectation, be2.EvalBatch, init2.Vector(), ParamBounds(2))
+	r2 := optimize.Run(context.Background(),
+		optimize.Problem{F: ev2.NegExpectation, Batch: be2.EvalBatch, Grad: ev2.NegGrad, X0: init2.Vector(), Bounds: ParamBounds(2)},
+		optimize.Options{Optimizer: opt})
 	p2 := pb.Canonicalize(qaoa.FromVector(r2.X))
 	level2 := RunResult{Params: p2, AR: pb.ApproximationRatio(p2), NFev: r2.NFev}
 
@@ -161,7 +163,9 @@ func Hierarchical(pb *qaoa.Problem, pt int, opt optimize.Optimizer, pred *Predic
 	}
 	evT := qaoa.NewEvaluator(pb, pt)
 	beT := qaoa.NewBatchEvaluator(pb, pt, 0)
-	rT := optimize.MinimizeWith(opt, evT.NegExpectation, beT.EvalBatch, initT.Vector(), ParamBounds(pt))
+	rT := optimize.Run(context.Background(),
+		optimize.Problem{F: evT.NegExpectation, Batch: beT.EvalBatch, Grad: evT.NegGrad, X0: initT.Vector(), Bounds: ParamBounds(pt)},
+		optimize.Options{Optimizer: opt})
 	pT := pb.Canonicalize(qaoa.FromVector(rT.X))
 	level3 := RunResult{Params: pT, AR: pb.ApproximationRatio(pT), NFev: rT.NFev}
 

@@ -129,6 +129,7 @@ type Result struct {
 	X         []float64 // best point found
 	F         float64   // objective at X
 	NFev      int       // function evaluations consumed
+	NGev      int       // analytic gradient evaluations (0 on the FD path)
 	Iters     int       // outer iterations
 	Converged bool      // tolerance met (vs. budget exhausted)
 	Status    Status    // termination cause (Converged/MaxIter/Cancelled)

@@ -7,14 +7,34 @@ import (
 	"qaoaml/internal/telemetry"
 )
 
+// GradFunc computes the analytic gradient ∇f(x) into grad
+// (len(grad) == len(x)). It must not retain either slice.
+type GradFunc func(x, grad []float64)
+
+// ValueGradFunc computes f(x) and ∇f(x) in one pass, filling grad and
+// returning the value. The value must equal what F(x) would return.
+type ValueGradFunc func(x, grad []float64) float64
+
 // Problem bundles everything that defines one minimization: the
 // objective, an optional batch fast path for independent probe points,
-// the start point and the box bounds.
+// optional analytic gradients, the start point and the box bounds.
 type Problem struct {
 	F      Func      // objective (required)
 	Batch  BatchFunc // optional batch evaluator for FD probe stencils
 	X0     []float64 // start point (clipped into Bounds)
 	Bounds *Bounds   // box constraints (required)
+
+	// Grad, when non-nil, supplies analytic gradients. The gradient-based
+	// optimizers (L-BFGS-B, SLSQP) then skip finite differences entirely:
+	// gradients cost zero function evaluations and are counted in
+	// Result.NGev instead. Optimizers that do not use gradients ignore it.
+	Grad GradFunc
+	// ValueGrad is the fused alternative to Grad (one pass for f and ∇f).
+	// When both are set, Grad wins; when only ValueGrad is set the
+	// optimizers use it as a gradient source (the fused value is ignored —
+	// every point a gradient is requested at has already been evaluated by
+	// the line search, so NFev accounting is unchanged).
+	ValueGrad ValueGradFunc
 }
 
 // Options carries the cross-cutting run controls. The zero value is
@@ -61,7 +81,7 @@ func Run(ctx context.Context, p Problem, opts Options) Result {
 			Message: "context cancelled before start: " + err.Error()}
 	}
 	env := &runEnv{
-		f: p.F, bf: p.Batch, x0: p.X0, bounds: p.Bounds,
+		f: p.F, bf: p.Batch, agrad: analyticGrad(p), x0: p.X0, bounds: p.Bounds,
 		ctx: ctx, rec: rec, cb: opts.Callback, maxFev: opts.MaxNFev,
 		name: opt.Name(),
 	}
@@ -87,8 +107,25 @@ func Run(ctx context.Context, p Problem, opts Options) Result {
 	rec.Count("optimize.runs", 1)
 	rec.Count("optimize.fev_total", int64(res.NFev))
 	rec.Observe("optimize.nfev", float64(res.NFev))
+	if res.NGev > 0 {
+		rec.Count("optimize.gev_total", int64(res.NGev))
+		rec.Observe("optimize.ngev", float64(res.NGev))
+	}
 	rec.Observe("optimize.run_ms", float64(time.Since(start).Nanoseconds())/1e6)
 	return res
+}
+
+// analyticGrad folds the Problem's two gradient fields into one GradFunc
+// (Grad preferred, then ValueGrad with the value discarded), or nil when
+// the problem has no analytic gradient and finite differences apply.
+func analyticGrad(p Problem) GradFunc {
+	switch {
+	case p.Grad != nil:
+		return p.Grad
+	case p.ValueGrad != nil:
+		return func(x, grad []float64) { p.ValueGrad(x, grad) }
+	}
+	return nil
 }
 
 // runner is the internal per-algorithm hook Run dispatches to; all
@@ -102,6 +139,7 @@ type runner interface {
 type runEnv struct {
 	f      Func
 	bf     BatchFunc
+	agrad  GradFunc // non-nil: analytic gradient replaces finite differences
 	x0     []float64
 	bounds *Bounds
 	ctx    context.Context

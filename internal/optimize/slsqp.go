@@ -53,8 +53,19 @@ func (o *SLSQP) run(env *runEnv) Result {
 	maxFev := env.capFev(maxIterOrDefault(o.MaxFev, 2000*n))
 	sweeps := maxIterOrDefault(o.QPSweep, 30)
 	cnt := &counter{f: f}
+	ngev := 0
 	gws := NewGradientWorkspace(n)
+	// Analytic gradients (adjoint mode) cost zero function evaluations
+	// and are counted in ngev; without them the finite-difference path
+	// below is bit-identical to the pre-analytic implementation.
 	grad := func(dst, at []float64, fat float64) {
+		if env.agrad != nil {
+			end := env.rec.Span("optimize.grad")
+			env.agrad(at, dst)
+			end()
+			ngev++
+			return
+		}
 		if bf != nil {
 			_, nev := gws.GradientBatch(dst, bf, at, fat, bounds, o.Scheme, o.FDStep)
 			cnt.n += nev
@@ -143,7 +154,7 @@ func (o *SLSQP) run(env *runEnv) Result {
 	if !converged && !cancelled && cnt.n >= maxFev {
 		msg = "function evaluation budget exhausted"
 	}
-	return Result{X: x, F: fx, NFev: cnt.n, Iters: iters, Converged: converged,
+	return Result{X: x, F: fx, NFev: cnt.n, NGev: ngev, Iters: iters, Converged: converged,
 		Status: statusOf(converged, cancelled), Message: msg}
 }
 

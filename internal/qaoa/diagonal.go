@@ -113,6 +113,7 @@ type DiagonalEvaluator struct {
 	Problem *DiagonalProblem
 	Depth   int
 	nfev    int
+	ngev    int
 	ws      *EvalWorkspace
 }
 
@@ -128,8 +129,29 @@ func (e *DiagonalEvaluator) NegExpectation(x []float64) float64 {
 	return -e.ws.ExpectationVec(x)
 }
 
+// NegGrad fills grad with the exact gradient of −⟨C⟩ at x via one
+// adjoint reverse sweep (gradient.go); counts one gradient evaluation.
+func (e *DiagonalEvaluator) NegGrad(x, grad []float64) { e.NegValueGrad(x, grad) }
+
+// NegValueGrad is NegGrad returning −⟨C⟩ as well (bit-identical to
+// NegExpectation, same forward pass; counts NGev, not a QC call).
+func (e *DiagonalEvaluator) NegValueGrad(x, grad []float64) float64 {
+	if len(x) != e.Dim() {
+		panic(fmt.Sprintf("qaoa: parameter vector length %d != 2p = %d", len(x), e.Dim()))
+	}
+	e.ngev++
+	v := e.ws.ValueGrad(x, grad)
+	for i := range grad {
+		grad[i] = -grad[i]
+	}
+	return -v
+}
+
 // NFev returns the number of QC calls so far.
 func (e *DiagonalEvaluator) NFev() int { return e.nfev }
+
+// NGev returns the number of adjoint gradient evaluations so far.
+func (e *DiagonalEvaluator) NGev() int { return e.ngev }
 
 // NumberPartitionProblem builds the classic number-partitioning
 // objective for the given positive weights: assign each number to one

@@ -1,0 +1,92 @@
+package qaoa
+
+import (
+	"fmt"
+	"math"
+)
+
+// Adjoint-mode (reverse-sweep) analytic differentiation of the QAOA
+// objective ⟨ψ(γ,β)|C|ψ(γ,β)⟩.
+//
+// The ansatz is a product of layers, |ψ⟩ = M_p P_p ⋯ M_1 P_1 |+⟩, with
+//
+//	P_s = exp(iγ_s H_γ),  H_γ = diag(h(z))   (the phase separator;
+//	      h(z) is diagKernel.gen, the convention workspace.go applies),
+//	M_s = exp(−iβ_s G_X), G_X = Σ_q X_q      (the RX mixing layer).
+//
+// Writing |φ_s⟩ for the state after stage s and ⟨λ_s| = ⟨ψ|C·(stages
+// s+1..p), the product rule gives for every stage
+//
+//	∂E/∂β_s = 2 Re⟨λ_s|(−i G_X)|φ_s⟩ = 2 Im⟨λ_s|G_X|φ_s⟩,
+//	∂E/∂γ_s = 2 Re⟨M_s†λ_s|(i H_γ)|P_s φ_{s−1}⟩
+//	        = −2 Im⟨M_s†λ_s|H_γ|P_s φ_{s−1}⟩.
+//
+// One forward pass prepares |ψ⟩ (and the value ⟨C⟩); the reverse sweep
+// seeds λ = C|ψ⟩ and walks s = p..1, taking the two inner products and
+// un-applying each layer from both states with the inverse of the same
+// fused kernels the forward pass uses (RXAll(−2β), conjugated phase
+// factors). Every partial is exact — all 2p of them for roughly the
+// cost of three evaluations, independent of p, where central finite
+// differences spend 4p evaluations. See DESIGN.md, "Adjoint
+// differentiation".
+
+// ValueGrad evaluates ⟨C⟩ at the flat parameter vector
+// [γ1..γp, β1..βp] and fills grad (same layout, same length) with the
+// exact partial derivatives ∂⟨C⟩/∂γ_s, ∂⟨C⟩/∂β_s. The returned value
+// is bit-identical to ExpectationVec(x): the forward pass is the same
+// code path. Warm calls perform no heap allocation; the adjoint state
+// buffer is allocated once on first use.
+func (w *EvalWorkspace) ValueGrad(x, grad []float64) float64 {
+	if len(x)%2 != 0 {
+		panic(fmt.Sprintf("qaoa: parameter vector of odd length %d", len(x)))
+	}
+	if len(grad) != len(x) {
+		panic(fmt.Sprintf("qaoa: gradient length %d != parameter length %d", len(grad), len(x)))
+	}
+	p := len(x) / 2
+	return w.valueGrad(x[:p], x[p:], grad[:p], grad[p:])
+}
+
+// Gradient fills grad with ∂⟨C⟩/∂x at x, discarding the value. Layout
+// and cost are those of ValueGrad.
+func (w *EvalWorkspace) Gradient(x, grad []float64) { w.ValueGrad(x, grad) }
+
+// valueGrad runs the forward pass and the adjoint reverse sweep.
+func (w *EvalWorkspace) valueGrad(gamma, beta, dGamma, dBeta []float64) float64 {
+	k := w.k
+	if w.adj == nil {
+		w.adj = w.state.Clone() // one-time buffer; overwritten below
+	}
+
+	// Forward pass: |ψ⟩ and the value, exactly as expectation().
+	w.state.FillUniform()
+	k.run(w.state, w.factors, gamma, beta)
+	val := w.state.ExpectationDiagonal(k.diag)
+
+	// Seed the adjoint: λ = C|ψ⟩.
+	w.adj.CopyFrom(w.state)
+	w.adj.MulDiagonalReal(k.diag)
+
+	// Reverse sweep: invariantly, entering iteration s the buffers hold
+	// φ = (stages 1..s+1 applied) and λ = (stages s+2..p un-applied from
+	// C|ψ⟩), i.e. exactly φ_{s+1} and λ_{s+1} in the derivation above.
+	for s := len(gamma) - 1; s >= 0; s-- {
+		dBeta[s] = 2 * imag(w.adj.InnerProductSumX(w.state))
+
+		// Un-apply the mixer from both states: M† = RXAll(−2β).
+		w.state.RXAll(-2 * beta[s])
+		w.adj.RXAll(-2 * beta[s])
+
+		dGamma[s] = -2 * imag(w.adj.InnerProductDiagonal(w.state, k.gen))
+
+		// Un-apply the phase separator: conjugated distinct factors.
+		g := gamma[s]
+		for j, h := range k.halfAngles {
+			sin, cos := math.Sincos(g * h)
+			w.factors[j] = complex(cos, -sin)
+		}
+		w.state.MulDiagonalIndexed(k.idx, w.factors)
+		w.adj.MulDiagonalIndexed(k.idx, w.factors)
+	}
+	return val
+}

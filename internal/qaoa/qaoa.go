@@ -209,6 +209,7 @@ type Evaluator struct {
 	Problem *Problem
 	Depth   int
 	nfev    int
+	ngev    int
 	ws      *EvalWorkspace
 }
 
@@ -233,11 +234,39 @@ func (e *Evaluator) NegExpectation(x []float64) float64 {
 	return -e.ws.ExpectationVec(x)
 }
 
+// NegGrad fills grad with the exact gradient of the minimization
+// objective −⟨C⟩ at x, computed by one adjoint reverse sweep (see
+// gradient.go) — no finite differences, no function calls counted.
+// Each call counts one gradient evaluation (NGev). Warm calls perform
+// no heap allocation.
+func (e *Evaluator) NegGrad(x, grad []float64) { e.NegValueGrad(x, grad) }
+
+// NegValueGrad is NegGrad returning −⟨C⟩ as well; the value is
+// bit-identical to NegExpectation(x) (same forward pass) but does not
+// count a QC call, only a gradient evaluation.
+func (e *Evaluator) NegValueGrad(x, grad []float64) float64 {
+	if len(x) != e.Dim() {
+		panic(fmt.Sprintf("qaoa: parameter vector length %d != 2p = %d", len(x), e.Dim()))
+	}
+	e.ngev++
+	v := e.ws.ValueGrad(x, grad)
+	for i := range grad {
+		grad[i] = -grad[i]
+	}
+	return -v
+}
+
 // NFev returns the number of QC calls so far.
 func (e *Evaluator) NFev() int { return e.nfev }
 
 // ResetNFev zeroes the QC-call counter.
 func (e *Evaluator) ResetNFev() { e.nfev = 0 }
+
+// NGev returns the number of adjoint gradient evaluations so far.
+func (e *Evaluator) NGev() int { return e.ngev }
+
+// ResetNGev zeroes the gradient-evaluation counter.
+func (e *Evaluator) ResetNGev() { e.ngev = 0 }
 
 // UniformState returns the p = 0 state (just the Hadamard layer), whose
 // expectation is m/2 — a useful baseline in tests.

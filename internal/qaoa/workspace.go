@@ -29,12 +29,16 @@ import (
 
 // diagKernel is the immutable per-problem precomputation: the cost
 // diagonal, and the distinct-value factorization of the phase-separator
-// angles. For parameter γ, amplitude z picks up phase γ·halfAngles[idx[z]].
+// angles. For parameter γ, amplitude z picks up phase γ·halfAngles[idx[z]];
+// gen is the same coefficient table unfactorized (gen[z] =
+// halfAngles[idx[z]]), the diagonal generator H_γ of the phase layer
+// that adjoint differentiation (gradient.go) takes matrix elements of.
 type diagKernel struct {
 	n          int
 	diag       []float64 // cost diagonal C(z) (the observable)
 	idx        []int32   // idx[z] → index into halfAngles
 	halfAngles []float64 // distinct per-γ phase coefficients
+	gen        []float64 // per-amplitude phase generator h(z)
 }
 
 // newDiagKernel factorizes the phase angles angle(z) = coeff(diag[z])
@@ -45,6 +49,7 @@ func newDiagKernel(n int, diag []float64, coeff func(v float64) float64) *diagKe
 		n:    n,
 		diag: diag,
 		idx:  make([]int32, len(diag)),
+		gen:  make([]float64, len(diag)),
 	}
 	seen := make(map[float64]int32, 64)
 	for z, v := range diag {
@@ -56,6 +61,7 @@ func newDiagKernel(n int, diag []float64, coeff func(v float64) float64) *diagKe
 			seen[a] = j
 		}
 		k.idx[z] = j
+		k.gen[z] = a
 	}
 	return k
 }
@@ -94,6 +100,11 @@ type EvalWorkspace struct {
 	k       *diagKernel
 	state   *quantum.State
 	factors []complex128
+
+	// Adjoint-sweep buffer (gradient.go), allocated on first ValueGrad
+	// call so plain expectation streams never pay for it. Warm gradient
+	// calls are allocation-free.
+	adj *quantum.State
 }
 
 // NewWorkspace returns a reusable evaluation workspace for the problem.

@@ -1,0 +1,87 @@
+package quantum
+
+import "fmt"
+
+// This file holds the kernels adjoint-mode (reverse-sweep) analytic
+// differentiation is built from. Adjoint differentiation keeps two
+// state vectors — the ket |φ⟩ and the adjoint λ — un-applies circuit
+// layers from both, and accumulates each partial derivative as an inner
+// product between them. The kernels here are the allocation-free
+// building blocks: buffer reuse, a diagonal-observable application, and
+// the two inner-product forms the QAOA ansatz needs.
+//
+// Unlike the diagonal *application* kernels (MulDiagonalIndexed,
+// ApplyDiagonalPhase), the inner-product reductions stay serial at
+// every register size: a chunk-parallel reduction would change the
+// floating-point summation order with the worker count, and gradients
+// must be bit-reproducible across GOMAXPROCS settings.
+
+// CopyFrom overwrites s with the amplitudes of t, without allocating.
+// It panics if the register widths differ. This is the in-place
+// analogue of Clone used by gradient workspaces to seed the adjoint
+// state from the forward state.
+func (s *State) CopyFrom(t *State) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("quantum: CopyFrom width mismatch %d != %d", s.n, t.n))
+	}
+	copy(s.amps, t.amps)
+}
+
+// MulDiagonalReal multiplies amplitude z by the real diagonal entry
+// diag[z] — the application of a diagonal observable D|ψ⟩, which seeds
+// the adjoint state λ = D|ψ⟩ of a reverse sweep. It panics on a length
+// mismatch.
+func (s *State) MulDiagonalReal(diag []float64) {
+	if len(diag) != len(s.amps) {
+		panic(fmt.Sprintf("quantum: diagonal length %d != dim %d", len(diag), len(s.amps)))
+	}
+	for i, d := range diag {
+		s.amps[i] *= complex(d, 0)
+	}
+}
+
+// InnerProductDiagonal returns ⟨s|D|t⟩ for a real diagonal operator D:
+// Σ_z conj(s_z)·diag[z]·t_z. It panics on width or length mismatches.
+// The reduction is serial so the result is bit-reproducible (see the
+// file comment).
+func (s *State) InnerProductDiagonal(t *State, diag []float64) complex128 {
+	if s.n != t.n {
+		panic("quantum: qubit count mismatch in InnerProductDiagonal")
+	}
+	if len(diag) != len(s.amps) {
+		panic(fmt.Sprintf("quantum: diagonal length %d != dim %d", len(diag), len(s.amps)))
+	}
+	var re, im float64
+	for z, d := range diag {
+		a, b := s.amps[z], t.amps[z]
+		// conj(a)·b·d, accumulated in split real/imag form.
+		re += (real(a)*real(b) + imag(a)*imag(b)) * d
+		im += (real(a)*imag(b) - imag(a)*real(b)) * d
+	}
+	return complex(re, im)
+}
+
+// InnerProductSumX returns ⟨s| Σ_q X_q |t⟩, the matrix element of the
+// transverse-field mixer generator: Σ_q Σ_z conj(s_z)·t_{z⊕2^q}. One
+// pass per qubit over the amplitude array, no allocation. It panics if
+// the register widths differ.
+func (s *State) InnerProductSumX(t *State) complex128 {
+	if s.n != t.n {
+		panic("quantum: qubit count mismatch in InnerProductSumX")
+	}
+	var re, im float64
+	for q := 0; q < s.n; q++ {
+		bit := 1 << uint(q)
+		dim := len(s.amps)
+		for base := 0; base < dim; base += bit << 1 {
+			for i := base; i < base+bit; i++ {
+				j := i | bit
+				a, b := s.amps[i], t.amps[j] // ⟨z|X_q|z⊕bit⟩ terms, both orders
+				c, d := s.amps[j], t.amps[i]
+				re += real(a)*real(b) + imag(a)*imag(b) + real(c)*real(d) + imag(c)*imag(d)
+				im += real(a)*imag(b) - imag(a)*real(b) + real(c)*imag(d) - imag(c)*real(d)
+			}
+		}
+	}
+	return complex(re, im)
+}
