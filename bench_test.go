@@ -587,6 +587,77 @@ func BenchmarkLBFGSBGradientPath(b *testing.B) {
 	})
 }
 
+// --- large-register scaling benches (streaming cost + parallel kernels) ---
+
+// largeBenchProblem builds a 3-regular streaming-mode MaxCut instance.
+// Above the streaming threshold no 2^n cost table exists; C(z) is
+// generated from the edge list per fixed-geometry chunk.
+func largeBenchProblem(b *testing.B, n int) *qaoa.Problem {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(40 + n)))
+	pb, err := qaoa.NewProblem(graph.RandomRegular(n, 3, rng))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if pb.CutTable != nil {
+		b.Fatalf("n=%d problem materialized its cut table; streaming expected", n)
+	}
+	return pb
+}
+
+// BenchmarkExpectationLargeN measures one depth-1 expectation at 16, 20
+// and 22 qubits through the streaming kernel — the scaling targets the
+// small-n engine could not reach (a 2^22 cost+index table pair alone
+// would cost 48 MiB).
+func BenchmarkExpectationLargeN(b *testing.B) {
+	for _, n := range []int{16, 20, 22} {
+		n := n
+		b.Run(map[int]string{16: "n16", 20: "n20", 22: "n22"}[n], func(b *testing.B) {
+			pb := largeBenchProblem(b, n)
+			ev := qaoa.NewEvaluator(pb, 1)
+			x := []float64{0.4, 0.3}
+			_ = ev.NegExpectation(x) // warm the workspace
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = ev.NegExpectation(x)
+			}
+		})
+	}
+}
+
+// BenchmarkGradientAdjointLargeN measures one adjoint value+gradient
+// sweep on a 20-qubit depth-3 instance — the large-register gradient
+// path (streamed observable application and matrix elements).
+func BenchmarkGradientAdjointLargeN(b *testing.B) {
+	pb := largeBenchProblem(b, 20)
+	b.Run("n20-p3", func(b *testing.B) {
+		ev := qaoa.NewEvaluator(pb, 3)
+		x := []float64{0.4, 0.7, 0.9, 0.5, 0.3, 0.2}
+		grad := make([]float64, len(x))
+		_ = ev.NegValueGrad(x, grad) // warm workspace + adjoint buffer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = ev.NegValueGrad(x, grad)
+		}
+	})
+}
+
+// BenchmarkSampleOutcomes measures the pooled sampling path underlying
+// SampleCounts (1024 shots; ≤ 2 allocations per warm call).
+func BenchmarkSampleOutcomes(b *testing.B) {
+	pb := benchProblem(b)
+	st := pb.State(qaoa.Params{Gamma: []float64{0.4, 0.7}, Beta: []float64{0.5, 0.3}})
+	rng := rand.New(rand.NewSource(19))
+	_ = st.SampleOutcomes(1024, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = st.SampleOutcomes(1024, rng)
+	}
+}
+
 // BenchmarkEigenSym measures the Jacobi eigensolver on an 8×8 graph
 // Laplacian (the spectral-utility hot path).
 func BenchmarkEigenSym(b *testing.B) {

@@ -8,9 +8,17 @@
 // wall-clock benchmarks time end-to-end dataset generation and the
 // Table I experiment, reporting objective evaluations per second.
 //
+// The large-register suite (expectation/n16..n22, grad/n20-p3) streams
+// the cost Hamiltonian from the edge list (no 2^n tables) and is
+// recorded once per -cpu GOMAXPROCS setting, so scaling across worker
+// counts is visible in one file.
+//
 //	qaoabench                    # full suite → BENCH_qaoa.json
 //	qaoabench -quick             # skip the wall-clock experiments
 //	qaoabench -out -             # JSON to stdout
+//	qaoabench -cpu 1,2,8         # record the large-n suite at each GOMAXPROCS
+//	qaoabench -bench 'n2[02]'    # only entries matching the regex
+//	qaoabench -cpuprofile cpu.pb # write a CPU profile of the run
 //	qaoabench -metrics m.json    # also dump telemetry (FC/latency histograms)
 //	qaoabench -timeout 30s       # bound the wall-clock experiments
 package main
@@ -24,7 +32,11 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"regexp"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -39,7 +51,8 @@ import (
 // Entry is one benchmark result in the emitted JSON.
 type Entry struct {
 	Name        string  `json:"name"`
-	N           int     `json:"n"` // iterations timed
+	GOMAXPROCS  int     `json:"gomaxprocs,omitempty"` // workers the entry ran at
+	N           int     `json:"n"`                    // iterations timed
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -67,15 +80,44 @@ const maxHistory = 10
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_qaoa.json", "output file ('-' = stdout)")
-		quick   = flag.Bool("quick", false, "micro benchmarks only (skip wall-clock experiments)")
-		timeout = flag.Duration("timeout", 0, "deadline for the wall-clock experiments (0 = none)")
-		workers = flag.Int("workers", 0, "datagen parallelism in wall-clock experiments (0 = GOMAXPROCS)")
-		metrics = flag.String("metrics", "", "write collected telemetry (FC/latency histograms, spans) as JSON to this file")
+		out        = flag.String("out", "BENCH_qaoa.json", "output file ('-' = stdout)")
+		quick      = flag.Bool("quick", false, "micro benchmarks only (skip wall-clock experiments)")
+		timeout    = flag.Duration("timeout", 0, "deadline for the wall-clock experiments (0 = none)")
+		workers    = flag.Int("workers", 0, "datagen parallelism in wall-clock experiments (0 = GOMAXPROCS)")
+		metrics    = flag.String("metrics", "", "write collected telemetry (FC/latency histograms, spans) as JSON to this file")
+		cpuList    = flag.String("cpu", "", "comma-separated GOMAXPROCS values for the large-n suite (default: current)")
+		benchPat   = flag.String("bench", "", "only run entries whose name matches this regexp")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (post-GC) to this file on exit")
 	)
 	flag.Parse()
 	if *timeout < 0 || *workers < 0 {
 		fatal(fmt.Errorf("-timeout and -workers must be non-negative"))
+	}
+	if *benchPat != "" {
+		re, err := regexp.Compile(*benchPat)
+		if err != nil {
+			fatal(fmt.Errorf("bad -bench pattern: %w", err))
+		}
+		benchRE = re
+	}
+	cpus := parseCPUs(*cpuList) // validate before any benchmark runs
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s (cpu profile)\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer writeMemProfile(*memProfile)
 	}
 
 	var mem *telemetry.Memory
@@ -100,10 +142,14 @@ func main() {
 
 	for _, depth := range []int{1, 3, 5} {
 		depth := depth
+		name := fmt.Sprintf("expectation/p%d", depth)
 		ev := qaoa.NewEvaluator(pb, depth)
 		x := core.ParamBounds(depth).Random(rng)
+		if !benchMatch(name) {
+			continue
+		}
 		_ = ev.NegExpectation(x) // warm the workspace
-		rep.add(fmt.Sprintf("expectation/p%d", depth), bench(func(b *testing.B) {
+		rep.add(name, bench(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_ = ev.NegExpectation(x)
 			}
@@ -112,13 +158,15 @@ func main() {
 
 	// The explicit CNOT·RZ·CNOT + per-qubit RX circuit the engine
 	// replaces, at depth 3 — the speedup baseline.
-	prGate := qaoa.Params{Gamma: []float64{0.4, 0.7, 0.9}, Beta: []float64{0.5, 0.3, 0.2}}
-	rep.add("expectation/p3-gate-circuit", bench(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			st := pb.BuildCircuit(prGate).Simulate()
-			_ = st.ExpectationDiagonal(pb.CutTable)
-		}
-	}))
+	if benchMatch("expectation/p3-gate-circuit") {
+		prGate := qaoa.Params{Gamma: []float64{0.4, 0.7, 0.9}, Beta: []float64{0.5, 0.3, 0.2}}
+		rep.add("expectation/p3-gate-circuit", bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := pb.BuildCircuit(prGate).Simulate()
+				_ = st.ExpectationDiagonal(pb.CutTable)
+			}
+		}))
+	}
 
 	// Batch throughput on a gradient-stencil-sized batch.
 	be := qaoa.NewBatchEvaluator(pb, 3, 0)
@@ -126,150 +174,122 @@ func main() {
 	for i := range points {
 		points[i] = core.ParamBounds(3).Random(rng)
 	}
-	e := bench(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			_ = be.EvalBatch(points)
-		}
-	})
-	e.EvalsPerSec = float64(len(points)) / (e.NsPerOp * 1e-9)
-	rep.add("batch/12pt-p3", e)
+	if benchMatch("batch/12pt-p3") {
+		e := bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = be.EvalBatch(points)
+			}
+		})
+		e.EvalsPerSec = float64(len(points)) / (e.NsPerOp * 1e-9)
+		rep.add("batch/12pt-p3", e)
+	}
 
 	// Measurement sampling (CDF + binary search).
-	st := pb.State(qaoa.Params{Gamma: []float64{0.4, 0.7}, Beta: []float64{0.5, 0.3}})
-	srng := rand.New(rand.NewSource(19))
-	rep.add("samplecounts/1024shots", bench(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			_ = st.SampleCounts(1024, srng)
-		}
-	}))
+	if benchMatch("samplecounts/1024shots") {
+		st := pb.State(qaoa.Params{Gamma: []float64{0.4, 0.7}, Beta: []float64{0.5, 0.3}})
+		srng := rand.New(rand.NewSource(19))
+		rep.add("samplecounts/1024shots", bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = st.SampleCounts(1024, srng)
+			}
+		}))
+	}
 
 	// Finite-difference gradient through the reusable workspace.
 	gx := core.ParamBounds(3).Random(rng)
-	gev := qaoa.NewEvaluator(pb, 3)
-	gfx := gev.NegExpectation(gx)
-	ws := optimize.NewGradientWorkspace(len(gx))
-	dst := make([]float64, len(gx))
-	rep.add("gradient/central-p3", bench(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			_ = ws.Gradient(dst, gev.NegExpectation, gx, gfx, core.ParamBounds(3), optimize.CentralDiff, 1e-6)
-		}
-	}))
+	if benchMatch("gradient/central-p3") {
+		gev := qaoa.NewEvaluator(pb, 3)
+		gfx := gev.NegExpectation(gx)
+		ws := optimize.NewGradientWorkspace(len(gx))
+		dst := make([]float64, len(gx))
+		rep.add("gradient/central-p3", bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = ws.Gradient(dst, gev.NegExpectation, gx, gfx, core.ParamBounds(3), optimize.CentralDiff, 1e-6)
+			}
+		}))
+	}
 
 	// Adjoint-mode value+gradient: one reverse sweep replaces the whole
 	// 4p-evaluation central-difference stencil above.
 	for _, depth := range []int{1, 2, 3, 4, 5} {
-		aev := qaoa.NewEvaluator(pb, depth)
+		name := fmt.Sprintf("grad/p%d", depth)
 		ax := core.ParamBounds(depth).Random(rng)
+		if !benchMatch(name) {
+			continue
+		}
+		aev := qaoa.NewEvaluator(pb, depth)
 		agrad := make([]float64, len(ax))
 		_ = aev.NegValueGrad(ax, agrad) // warm the workspace + adjoint buffer
-		rep.add(fmt.Sprintf("grad/p%d", depth), bench(func(b *testing.B) {
+		rep.add(name, bench(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_ = aev.NegValueGrad(ax, agrad)
 			}
 		}))
 	}
 
-	// End-to-end L-BFGS-B at depth 5 from one fixed start: the adjoint
-	// path must reach the same optimum (⟨C⟩ within 1e-6) in a fraction
-	// of the finite-difference wall clock.
-	b5 := core.ParamBounds(5)
-	x05 := b5.Random(rng)
-	evFD := qaoa.NewEvaluator(pb, 5)
-	beFD := qaoa.NewBatchEvaluator(pb, 5, 0)
-	evAD := qaoa.NewEvaluator(pb, 5)
-	// Tol well below the 1e-6 agreement bar so both paths grind into the
-	// same optimum rather than stopping wherever the relative f-change
-	// first dips under the default tolerance.
-	lb := &optimize.LBFGSB{Tol: 1e-12}
-	runFD := func() optimize.Result {
-		return optimize.Run(context.Background(),
-			optimize.Problem{F: evFD.NegExpectation, Batch: beFD.EvalBatch, X0: x05, Bounds: b5},
-			optimize.Options{Optimizer: lb})
-	}
-	runAD := func() optimize.Result {
-		return optimize.Run(context.Background(),
-			optimize.Problem{F: evAD.NegExpectation, Grad: evAD.NegGrad, X0: x05, Bounds: b5},
-			optimize.Options{Optimizer: lb})
-	}
-	rFD, rAD := runFD(), runAD()
-	if diff := math.Abs(rFD.F - rAD.F); diff > 1e-6 {
-		fatal(fmt.Errorf("adjoint optimum %.9f disagrees with FD optimum %.9f (|Δ| = %.3g)", -rAD.F, -rFD.F, diff))
-	}
-	eFD := bench(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			_ = runFD()
+	// Large-register streaming suite: depth-1 expectation at n=16/20/22
+	// and the adjoint value+gradient at n=20 p=3, every problem in
+	// streaming mode (no 2^n cost table — the kernel walks the edge
+	// list). Recorded once per -cpu GOMAXPROCS setting so kernel scaling
+	// across worker counts lands in one file; the merge key includes the
+	// worker count, so matrix runs accumulate instead of clobbering.
+	largeProblems := map[int]*qaoa.Problem{}
+	largeProblem := func(n int) *qaoa.Problem {
+		if lp, ok := largeProblems[n]; ok {
+			return lp
 		}
-	})
-	eFD.NFev, eFD.FinalF = rFD.NFev, rFD.F
-	eFD.EvalsPerSec = float64(eFD.NFev) / (eFD.NsPerOp * 1e-9)
-	rep.add("e2e/lbfgsb-fd-p5", eFD)
-	eAD := bench(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			_ = runAD()
+		prng := rand.New(rand.NewSource(int64(40 + n)))
+		lp, err := qaoa.NewProblem(graph.RandomRegular(n, 3, prng))
+		if err != nil {
+			fatal(err)
 		}
-	})
-	eAD.NFev, eAD.NGev, eAD.FinalF = rAD.NFev, rAD.NGev, rAD.F
-	eAD.EvalsPerSec = float64(eAD.NFev) / (eAD.NsPerOp * 1e-9)
-	rep.add("e2e/lbfgsb-adjoint-p5", eAD)
-
-	if !*quick {
-		// The -timeout clock starts here so the micro benchmarks above
-		// can't eat the wall-clock experiments' budget.
-		ctx := context.Background()
-		if *timeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, *timeout)
-			defer cancel()
+		if lp.CutTable != nil {
+			fatal(fmt.Errorf("n=%d problem materialized a 2^n cut table; expected streaming mode", n))
 		}
-		// The wall-clock experiments run under ctx and feed the telemetry
-		// sink: the per-depth datagen.fc.p* histograms, the optimize.run_ms
-		// latency histogram and the datagen.generate span all land in the
-		// -metrics dump. A -timeout deadline cuts them short (within one
-		// optimizer step) and keeps whatever was measured.
-		rep.add("wallclock/datagen", wallclock(func() int {
-			cfg := core.DataGenConfig{
-				NumGraphs: 8, Nodes: 8, EdgeProb: 0.5,
-				MaxDepth: 3, Starts: 4, Tol: 1e-6, Seed: 2,
-				Workers: *workers, Recorder: rec,
+		largeProblems[n] = lp
+		return lp
+	}
+	prevProcs := runtime.GOMAXPROCS(0)
+	for _, nc := range cpus {
+		runtime.GOMAXPROCS(nc)
+		for _, n := range []int{16, 20, 22} {
+			name := fmt.Sprintf("expectation/n%d", n)
+			if !benchMatch(name) {
+				continue
 			}
-			data, err := core.GenerateCtx(ctx, cfg)
-			if err != nil && !errors.Is(err, context.DeadlineExceeded) {
-				fatal(err)
-			}
-			nfev := 0
-			for _, recs := range data.Records {
-				for _, r := range recs {
-					nfev += r.NFev
+			ev := qaoa.NewEvaluator(largeProblem(n), 1)
+			x := []float64{0.4, 0.3}
+			_ = ev.NegExpectation(x) // warm the 2^n workspace
+			rep.add(name, bench(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = ev.NegExpectation(x)
 				}
-			}
-			return nfev
-		}))
-
-		if ctx.Err() != nil {
-			fmt.Fprintln(os.Stderr, "qaoabench: timeout reached, skipping wallclock/table1")
-		} else {
-			rep.add("wallclock/table1", wallclock(func() int {
-				env, err := experiments.NewEnvCtx(ctx, experiments.Scale{
-					NumGraphs: 16, Nodes: 8, EdgeProb: 0.5,
-					MaxDepth: 3, Starts: 4, TrainFrac: 0.4,
-					Reps: 1, TestGraphs: 4, MaxTarget: 3,
-					Workers: *workers, Seed: 1,
-				}, rec)
-				if err != nil {
-					if errors.Is(err, context.DeadlineExceeded) {
-						fmt.Fprintln(os.Stderr, "qaoabench: timeout reached during table1 dataset")
-						return 0
-					}
-					fatal(err)
-				}
-				res := experiments.RunTable1(env)
-				nfev := 0
-				for _, row := range res.Rows {
-					nfev += int(row.NaiveMeanFC) + int(row.TwoMeanFC)
-				}
-				return nfev
 			}))
 		}
+		if benchMatch("grad/n20-p3") {
+			ev := qaoa.NewEvaluator(largeProblem(20), 3)
+			x := []float64{0.4, 0.7, 0.9, 0.5, 0.3, 0.2}
+			grad := make([]float64, len(x))
+			_ = ev.NegValueGrad(x, grad)
+			rep.add("grad/n20-p3", bench(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = ev.NegValueGrad(x, grad)
+				}
+			}))
+		}
+	}
+	runtime.GOMAXPROCS(prevProcs)
+
+	// End-to-end L-BFGS-B at depth 5 from one fixed start: the adjoint
+	// path must reach the same optimum (⟨C⟩ within 1e-6) in a fraction
+	// of the finite-difference wall clock. The two runs share the
+	// agreement check, so filtering either one in runs both optimizers.
+	if benchMatch("e2e/lbfgsb-fd-p5") || benchMatch("e2e/lbfgsb-adjoint-p5") {
+		rep.e2e(pb, rng)
+	}
+
+	if !*quick {
+		rep.wallclocks(*timeout, *workers, rec)
 	}
 
 	if *out != "-" {
@@ -305,6 +325,121 @@ func main() {
 	}
 }
 
+// e2e runs the paired finite-difference / adjoint L-BFGS-B benchmark.
+func (r *Report) e2e(pb *qaoa.Problem, rng *rand.Rand) {
+	b5 := core.ParamBounds(5)
+	x05 := b5.Random(rng)
+	evFD := qaoa.NewEvaluator(pb, 5)
+	beFD := qaoa.NewBatchEvaluator(pb, 5, 0)
+	evAD := qaoa.NewEvaluator(pb, 5)
+	// Tol well below the 1e-6 agreement bar so both paths grind into the
+	// same optimum rather than stopping wherever the relative f-change
+	// first dips under the default tolerance.
+	lb := &optimize.LBFGSB{Tol: 1e-12}
+	runFD := func() optimize.Result {
+		return optimize.Run(context.Background(),
+			optimize.Problem{F: evFD.NegExpectation, Batch: beFD.EvalBatch, X0: x05, Bounds: b5},
+			optimize.Options{Optimizer: lb})
+	}
+	runAD := func() optimize.Result {
+		return optimize.Run(context.Background(),
+			optimize.Problem{F: evAD.NegExpectation, Grad: evAD.NegGrad, X0: x05, Bounds: b5},
+			optimize.Options{Optimizer: lb})
+	}
+	rFD, rAD := runFD(), runAD()
+	if diff := math.Abs(rFD.F - rAD.F); diff > 1e-6 {
+		fatal(fmt.Errorf("adjoint optimum %.9f disagrees with FD optimum %.9f (|Δ| = %.3g)", -rAD.F, -rFD.F, diff))
+	}
+	eFD := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = runFD()
+		}
+	})
+	eFD.NFev, eFD.FinalF = rFD.NFev, rFD.F
+	eFD.EvalsPerSec = float64(eFD.NFev) / (eFD.NsPerOp * 1e-9)
+	if benchMatch("e2e/lbfgsb-fd-p5") {
+		r.add("e2e/lbfgsb-fd-p5", eFD)
+	}
+	eAD := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = runAD()
+		}
+	})
+	eAD.NFev, eAD.NGev, eAD.FinalF = rAD.NFev, rAD.NGev, rAD.F
+	eAD.EvalsPerSec = float64(eAD.NFev) / (eAD.NsPerOp * 1e-9)
+	if benchMatch("e2e/lbfgsb-adjoint-p5") {
+		r.add("e2e/lbfgsb-adjoint-p5", eAD)
+	}
+}
+
+// wallclocks runs the end-to-end dataset-generation and Table I
+// experiments once (never per -cpu setting — they manage their own
+// worker pools).
+func (r *Report) wallclocks(timeout time.Duration, workers int, rec telemetry.Recorder) {
+	// The -timeout clock starts here so the micro benchmarks above
+	// can't eat the wall-clock experiments' budget.
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	// The wall-clock experiments run under ctx and feed the telemetry
+	// sink: the per-depth datagen.fc.p* histograms, the optimize.run_ms
+	// latency histogram and the datagen.generate span all land in the
+	// -metrics dump. A -timeout deadline cuts them short (within one
+	// optimizer step) and keeps whatever was measured.
+	if benchMatch("wallclock/datagen") {
+		r.add("wallclock/datagen", wallclock(func() int {
+			cfg := core.DataGenConfig{
+				NumGraphs: 8, Nodes: 8, EdgeProb: 0.5,
+				MaxDepth: 3, Starts: 4, Tol: 1e-6, Seed: 2,
+				Workers: workers, Recorder: rec,
+			}
+			data, err := core.GenerateCtx(ctx, cfg)
+			if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+				fatal(err)
+			}
+			nfev := 0
+			for _, recs := range data.Records {
+				for _, r := range recs {
+					nfev += r.NFev
+				}
+			}
+			return nfev
+		}))
+	}
+
+	if !benchMatch("wallclock/table1") {
+		return
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "qaoabench: timeout reached, skipping wallclock/table1")
+		return
+	}
+	r.add("wallclock/table1", wallclock(func() int {
+		env, err := experiments.NewEnvCtx(ctx, experiments.Scale{
+			NumGraphs: 16, Nodes: 8, EdgeProb: 0.5,
+			MaxDepth: 3, Starts: 4, TrainFrac: 0.4,
+			Reps: 1, TestGraphs: 4, MaxTarget: 3,
+			Workers: workers, Seed: 1,
+		}, rec)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintln(os.Stderr, "qaoabench: timeout reached during table1 dataset")
+				return 0
+			}
+			fatal(err)
+		}
+		res := experiments.RunTable1(env)
+		nfev := 0
+		for _, row := range res.Rows {
+			nfev += int(row.NaiveMeanFC) + int(row.TwoMeanFC)
+		}
+		return nfev
+	}))
+}
+
 // bench runs fn under the standard benchmark harness and converts the
 // result to an Entry.
 func bench(fn func(b *testing.B)) Entry {
@@ -334,11 +469,14 @@ func wallclock(fn func() int) Entry {
 }
 
 // merge folds a previous report at path into r so partial runs (e.g.
-// -quick) no longer clobber results they did not re-measure: entries
-// are keyed by name with this run winning, entries only the old file
-// has are kept, and the old timestamp joins History (newest first,
-// capped at maxHistory). A missing or unreadable file is a first run;
-// a corrupt one is overwritten.
+// -quick or a -cpu subset) no longer clobber results they did not
+// re-measure: entries are keyed by (name, gomaxprocs) with this run
+// winning, entries only the old file has are kept, and the old
+// timestamp joins History (newest first, capped at maxHistory).
+// Entries written before the per-entry GOMAXPROCS field inherit the
+// old file-level value, so a -cpu matrix run composes with legacy
+// files. A missing or unreadable file is a first run; a corrupt one
+// is overwritten.
 func (r *Report) merge(path string) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -348,13 +486,23 @@ func (r *Report) merge(path string) {
 	if json.Unmarshal(blob, &old) != nil {
 		return
 	}
+	key := func(e Entry, fileProcs int) string {
+		procs := e.GOMAXPROCS
+		if procs == 0 {
+			procs = fileProcs
+		}
+		return e.Name + "@" + strconv.Itoa(procs)
+	}
 	fresh := make(map[string]bool, len(r.Entries))
 	for _, e := range r.Entries {
-		fresh[e.Name] = true
+		fresh[key(e, r.GOMAXPROCS)] = true
 	}
 	kept := 0
 	for _, e := range old.Entries {
-		if !fresh[e.Name] {
+		if !fresh[key(e, old.GOMAXPROCS)] {
+			if e.GOMAXPROCS == 0 {
+				e.GOMAXPROCS = old.GOMAXPROCS
+			}
 			r.Entries = append(r.Entries, e)
 			kept++
 		}
@@ -371,16 +519,58 @@ func (r *Report) merge(path string) {
 	}
 }
 
-// add records the entry and prints a progress line to stderr (stdout is
-// reserved for the JSON document when -out is '-').
+// add records the entry — stamped with the GOMAXPROCS it ran at — and
+// prints a progress line to stderr (stdout is reserved for the JSON
+// document when -out is '-').
 func (r *Report) add(name string, e Entry) {
 	e.Name = name
+	e.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	r.Entries = append(r.Entries, e)
 	if e.NFev > 0 {
 		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op  %8d nfev  %10.0f evals/s\n", name, e.NsPerOp, e.NFev, e.EvalsPerSec)
 	} else {
-		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op  %4d allocs/op\n", name, e.NsPerOp, e.AllocsPerOp)
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op  %4d allocs/op  [%d cpu]\n", name, e.NsPerOp, e.AllocsPerOp, e.GOMAXPROCS)
 	}
+}
+
+// benchRE filters which entries run; nil (no -bench flag) matches all.
+var benchRE *regexp.Regexp
+
+func benchMatch(name string) bool {
+	return benchRE == nil || benchRE.MatchString(name)
+}
+
+// parseCPUs parses the -cpu list ("1,2,8"); an empty flag means the
+// current GOMAXPROCS only, mirroring `go test -cpu`.
+func parseCPUs(s string) []int {
+	if strings.TrimSpace(s) == "" {
+		return []int{runtime.GOMAXPROCS(0)}
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			fatal(fmt.Errorf("bad -cpu value %q (want positive integers, e.g. -cpu 1,2,8)", f))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// writeMemProfile dumps a post-GC heap profile, the right view for
+// checking the large-n memory budget (live state vectors, no 2^n cost
+// tables).
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (heap profile)\n", path)
 }
 
 func fatal(err error) {

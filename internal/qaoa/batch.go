@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"qaoaml/internal/quantum"
 )
 
 // BatchEvaluator evaluates independent parameter vectors of one
@@ -33,6 +35,13 @@ func NewBatchEvaluator(pb *Problem, p, workers int) *BatchEvaluator {
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	// Large registers already parallelize inside the quantum kernels
+	// (chunked gates and reductions); stacking batch-level workers on
+	// top would oversubscribe every core with competing state vectors,
+	// so the batch collapses to one worker and lets the kernels scale.
+	if 1<<uint(pb.NumQubits()) >= quantum.ParallelDim {
+		workers = 1
 	}
 	b := &BatchEvaluator{Problem: pb, Depth: p, workers: make([]*EvalWorkspace, workers)}
 	for i := range b.workers {

@@ -60,8 +60,8 @@ func (dp *DiagonalProblem) State(pr Params) *quantum.State {
 	}
 	k := dp.kernel()
 	s := quantum.NewUniformState(dp.N)
-	factors := make([]complex128, len(k.halfAngles))
-	k.run(s, factors, pr.Gamma, pr.Beta)
+	factors := make([]complex128, k.factorLen())
+	runKernel(k, s, factors, pr.Gamma, pr.Beta)
 	return s
 }
 
@@ -86,14 +86,7 @@ func (dp *DiagonalProblem) NormalizedScore(pr Params) float64 {
 
 // BestSampled returns the most probable basis state and its cost.
 func (dp *DiagonalProblem) BestSampled(pr Params) (cost float64, assign uint64) {
-	probs := dp.State(pr).Probabilities()
-	bestP := -1.0
-	for z, p := range probs {
-		if p > bestP {
-			bestP = p
-			assign = uint64(z)
-		}
-	}
+	assign, _ = dp.State(pr).ArgmaxProbability()
 	return dp.Diag[assign], assign
 }
 

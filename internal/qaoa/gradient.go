@@ -2,7 +2,6 @@ package qaoa
 
 import (
 	"fmt"
-	"math"
 )
 
 // Adjoint-mode (reverse-sweep) analytic differentiation of the QAOA
@@ -51,7 +50,10 @@ func (w *EvalWorkspace) ValueGrad(x, grad []float64) float64 {
 // and cost are those of ValueGrad.
 func (w *EvalWorkspace) Gradient(x, grad []float64) { w.ValueGrad(x, grad) }
 
-// valueGrad runs the forward pass and the adjoint reverse sweep.
+// valueGrad runs the forward pass and the adjoint reverse sweep. All
+// kernel-dependent steps (phase layers, observable application, matrix
+// elements) go through the costKernel interface, so the same sweep
+// drives the materialized small-n path and the streaming large-n path.
 func (w *EvalWorkspace) valueGrad(gamma, beta, dGamma, dBeta []float64) float64 {
 	k := w.k
 	if w.adj == nil {
@@ -60,12 +62,11 @@ func (w *EvalWorkspace) valueGrad(gamma, beta, dGamma, dBeta []float64) float64 
 
 	// Forward pass: |ψ⟩ and the value, exactly as expectation().
 	w.state.FillUniform()
-	k.run(w.state, w.factors, gamma, beta)
-	val := w.state.ExpectationDiagonal(k.diag)
+	runKernel(k, w.state, w.factors, gamma, beta)
+	val := k.expectation(w.state)
 
 	// Seed the adjoint: λ = C|ψ⟩.
-	w.adj.CopyFrom(w.state)
-	w.adj.MulDiagonalReal(k.diag)
+	k.seedAdjoint(w.adj, w.state)
 
 	// Reverse sweep: invariantly, entering iteration s the buffers hold
 	// φ = (stages 1..s+1 applied) and λ = (stages s+2..p un-applied from
@@ -77,16 +78,11 @@ func (w *EvalWorkspace) valueGrad(gamma, beta, dGamma, dBeta []float64) float64 
 		w.state.RXAll(-2 * beta[s])
 		w.adj.RXAll(-2 * beta[s])
 
-		dGamma[s] = -2 * imag(w.adj.InnerProductDiagonal(w.state, k.gen))
+		dGamma[s] = -2 * imag(k.genInner(w.adj, w.state))
 
-		// Un-apply the phase separator: conjugated distinct factors.
-		g := gamma[s]
-		for j, h := range k.halfAngles {
-			sin, cos := math.Sincos(g * h)
-			w.factors[j] = complex(cos, -sin)
-		}
-		w.state.MulDiagonalIndexed(k.idx, w.factors)
-		w.adj.MulDiagonalIndexed(k.idx, w.factors)
+		// Un-apply the phase separator (conjugated factors).
+		k.applyPhase(w.state, w.factors, gamma[s], true)
+		k.applyPhase(w.adj, w.factors, gamma[s], true)
 	}
 	return val
 }

@@ -87,22 +87,30 @@ func (pr Params) Validate(checkDomain bool) error {
 // evaluation: the graph, the cost diagonal C(z) (cut weight per
 // computational basis state), and the exact optimum used for
 // approximation ratios.
+//
+// CutTable is only materialized for small instances (n <
+// StreamingThreshold). Above the threshold it stays nil and every
+// evaluation streams C(z) from the edge list (see stream.go), so the
+// per-problem memory footprint is the state vector alone — a 2^20
+// problem holds no 8 MiB cost table and no 4 MiB index table. Use
+// CutValue for point lookups; it works in both modes.
 type Problem struct {
 	Graph       *graph.Graph
-	CutTable    []float64
-	OptValue    float64 // exact MaxCut value (cut weight)
-	TotalWeight float64 // sum of all edge weights
+	CutTable    []float64 // nil in streaming mode
+	OptValue    float64   // exact MaxCut value (cut weight)
+	TotalWeight float64   // sum of all edge weights
 
 	// Fast-path precomputation (see workspace.go), built lazily so any
 	// correctly-populated Problem value gets it on first evaluation.
 	kernOnce sync.Once
-	kern     *diagKernel
+	kern     costKernel
 	pool     wsPool
 }
 
-// NewProblem precomputes the cost table and the exact MaxCut optimum.
-// It returns an error for graphs with no edges (AR undefined) or a
-// non-positive optimum (all-negative weights make AR meaningless).
+// NewProblem precomputes the cost table (small instances only — see
+// Problem) and the exact MaxCut optimum. It returns an error for graphs
+// with no edges (AR undefined) or a non-positive optimum (all-negative
+// weights make AR meaningless).
 func NewProblem(g *graph.Graph) (*Problem, error) {
 	if g.NumEdges() == 0 {
 		return nil, fmt.Errorf("qaoa: graph with no edges has no MaxCut objective")
@@ -111,12 +119,36 @@ func NewProblem(g *graph.Graph) (*Problem, error) {
 	if opt <= 0 {
 		return nil, fmt.Errorf("qaoa: MaxCut optimum %v is not positive; approximation ratio undefined", opt)
 	}
-	return &Problem{
+	pb := &Problem{
 		Graph:       g,
-		CutTable:    g.WeightedCutTable(),
 		OptValue:    opt,
 		TotalWeight: g.TotalWeight(),
-	}, nil
+	}
+	if g.N < StreamingThreshold {
+		pb.CutTable = g.WeightedCutTable()
+	}
+	return pb, nil
+}
+
+// CutValue returns C(z), the cut weight of assignment z — a table
+// lookup when the table is materialized, an edge-list scan in streaming
+// mode.
+func (pb *Problem) CutValue(z uint64) float64 {
+	if pb.CutTable != nil {
+		return pb.CutTable[z]
+	}
+	return pb.Graph.WeightedCutValue(z)
+}
+
+// costDiagonal returns the materialized cost diagonal, computing a
+// fresh table in streaming mode. Only gate-level consumers that
+// genuinely need all 2^n entries (the noisy trajectory sampler) call
+// it; the evaluation hot paths never do.
+func (pb *Problem) costDiagonal() []float64 {
+	if pb.CutTable != nil {
+		return pb.CutTable
+	}
+	return pb.Graph.WeightedCutTable()
 }
 
 // NumQubits returns the register width (one qubit per vertex).
@@ -160,8 +192,8 @@ func (pb *Problem) State(pr Params) *quantum.State {
 	}
 	k := pb.kernel()
 	s := quantum.NewUniformState(pb.NumQubits())
-	factors := make([]complex128, len(k.halfAngles))
-	k.run(s, factors, pr.Gamma, pr.Beta)
+	factors := make([]complex128, k.factorLen())
+	runKernel(k, s, factors, pr.Gamma, pr.Beta)
 	return s
 }
 
@@ -188,15 +220,8 @@ func (pb *Problem) ApproximationRatio(pr Params) float64 {
 // the assignment, i.e. the solution a user would read out after
 // optimization.
 func (pb *Problem) BestSampledCut(pr Params) (cut float64, assign uint64) {
-	probs := pb.State(pr).Probabilities()
-	bestP := -1.0
-	for z, p := range probs {
-		if p > bestP {
-			bestP = p
-			assign = uint64(z)
-		}
-	}
-	return pb.CutTable[assign], assign
+	assign, _ = pb.State(pr).ArgmaxProbability()
+	return pb.CutValue(assign), assign
 }
 
 // Evaluator wraps a Problem as a minimization objective over the flat
@@ -279,7 +304,7 @@ func (pb *Problem) UniformState() *quantum.State {
 // of basis state z is exp(iγ(m−2C(z))/2)/√dim.
 func (pb *Problem) GlobalPhaseReference(gamma float64, z uint64) complex128 {
 	dim := float64(int(1) << uint(pb.NumQubits()))
-	return cmplx.Exp(complex(0, gamma*(pb.TotalWeight-2*pb.CutTable[z])/2)) * complex(1/math.Sqrt(dim), 0)
+	return cmplx.Exp(complex(0, gamma*(pb.TotalWeight-2*pb.CutValue(z))/2)) * complex(1/math.Sqrt(dim), 0)
 }
 
 // NoisyExpectation estimates ⟨C⟩ for the explicit gate-level circuit
@@ -288,5 +313,5 @@ func (pb *Problem) GlobalPhaseReference(gamma float64, z uint64) complex128 {
 // NISQ-hardware substitute — see quantum.NoiseModel.
 func (pb *Problem) NoisyExpectation(pr Params, nm quantum.NoiseModel, trajectories int, rng *rand.Rand) float64 {
 	c := pb.BuildCircuit(pr)
-	return c.NoisyExpectationDiagonal(pb.CutTable, nm, trajectories, rng)
+	return c.NoisyExpectationDiagonal(pb.costDiagonal(), nm, trajectories, rng)
 }

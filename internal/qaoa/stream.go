@@ -1,0 +1,330 @@
+package qaoa
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+
+	"qaoaml/internal/graph"
+	"qaoaml/internal/quantum"
+)
+
+// Streaming cost path for large MaxCut instances.
+//
+// The materialized diagKernel needs a 2^n float64 cost table plus a 2^n
+// int32 index table — 12 MiB at n = 20, 200 MiB at n = 24 — on top of
+// the state vector itself, just to look up C(z) per amplitude. The
+// streamKernel eliminates both tables: C(z) is recomputed on the fly
+// from the edge list, chunk by chunk over the same fixed reduction
+// geometry every other kernel uses (quantum.ReduceChunkLen amplitudes
+// per chunk). Within a chunk the cut value is computed from scratch at
+// the chunk base — iterating edges in their fixed order — and then
+// updated incrementally as z increments: the flipped bits of z−1 → z
+// are the trailing run (z−1)^z, so on average ~2 vertex flips per step,
+// each costing one pass over that vertex's adjacency list. For a
+// bounded-degree graph the amortized cost per amplitude is O(degree).
+//
+// Because the per-chunk values depend only on the chunk bounds (which
+// the fixed geometry pins) and the scratch buffers are per-chunk, the
+// streamed expectation, phase application, and gradient matrix elements
+// are bit-identical at every GOMAXPROCS — and, for integer-weighted
+// graphs, bit-identical to the materialized path: cut accumulation runs
+// in int64 (exact), the per-distinct-value factor arithmetic matches
+// diagKernel's, and the chunk reductions share their geometry.
+// Float-weighted graphs stream per-amplitude phases through math.Sincos
+// (no finite distinct-value set to memoize), which agrees with the
+// materialized path to rounding error.
+
+// StreamingThreshold is the qubit count from which NewProblem stops
+// materializing the 2^n cut table and evaluates in streaming mode. At
+// n = 13 the table pair costs 96 KiB + 32 KiB — already bigger than the
+// reduction chunk — and doubles per qubit.
+const StreamingThreshold = 13
+
+// maxStreamFactorTable caps the distinct-cut phase-factor table of the
+// integer-weighted streaming path. Graphs whose cut-value range exceeds
+// it (extreme weights) fall back to per-amplitude Sincos streaming.
+const maxStreamFactorTable = 1 << 16
+
+// streamKernel evaluates the MaxCut phase separator and observable
+// directly from the edge list. It is immutable after construction and
+// safe for concurrent use (scratch comes from a pool).
+type streamKernel struct {
+	n int
+	m float64 // total edge weight
+
+	// Edge list in fixed order, for the from-scratch cut at chunk bases.
+	edges []graph.Edge
+	wF    []float64
+	wInt  []int64 // integer path only
+
+	// CSR adjacency for the incremental per-flip updates.
+	adjStart []int32
+	adjVert  []int32
+	adjWF    []float64
+	adjWInt  []int64 // integer path only
+
+	// Integer path: cut values are exact int64 in [cmin, cmin+nfac).
+	integer bool
+	cmin    int64
+	nfac    int
+}
+
+// newStreamKernel builds the streaming kernel for a graph. totalWeight
+// is the problem's TotalWeight (kept explicit so the phase convention
+// matches the materialized kernel exactly).
+func newStreamKernel(g *graph.Graph, totalWeight float64) *streamKernel {
+	edges := g.Edges()
+	weights := g.Weights()
+	k := &streamKernel{n: g.N, m: totalWeight, edges: edges, wF: weights}
+
+	// CSR adjacency: both endpoints see every edge.
+	k.adjStart = make([]int32, g.N+1)
+	for _, e := range edges {
+		k.adjStart[e.U+1]++
+		k.adjStart[e.V+1]++
+	}
+	for v := 1; v <= g.N; v++ {
+		k.adjStart[v] += k.adjStart[v-1]
+	}
+	k.adjVert = make([]int32, 2*len(edges))
+	k.adjWF = make([]float64, 2*len(edges))
+	fill := append([]int32(nil), k.adjStart[:g.N]...)
+	for i, e := range edges {
+		k.adjVert[fill[e.U]] = int32(e.V)
+		k.adjWF[fill[e.U]] = weights[i]
+		fill[e.U]++
+		k.adjVert[fill[e.V]] = int32(e.U)
+		k.adjWF[fill[e.V]] = weights[i]
+		fill[e.V]++
+	}
+
+	if g.IntegerWeighted() {
+		var cmin, cmax int64
+		wInt := make([]int64, len(weights))
+		for i, w := range weights {
+			wInt[i] = int64(w)
+			if w < 0 {
+				cmin += int64(w)
+			} else {
+				cmax += int64(w)
+			}
+		}
+		if cmax-cmin+1 <= maxStreamFactorTable {
+			k.integer = true
+			k.cmin = cmin
+			k.nfac = int(cmax - cmin + 1)
+			k.wInt = wInt
+			k.adjWInt = make([]int64, len(k.adjWF))
+			for i, w := range k.adjWF {
+				k.adjWInt[i] = int64(w)
+			}
+		}
+	}
+	return k
+}
+
+// streamScratch holds one chunk's worth of generated cost data.
+type streamScratch struct {
+	idx []int32
+	gen []float64
+}
+
+var streamScratchPool = sync.Pool{New: func() any { return new(streamScratch) }}
+
+func (ws *streamScratch) idxBuf(n int) []int32 {
+	if cap(ws.idx) < n {
+		ws.idx = make([]int32, n)
+	}
+	return ws.idx[:n]
+}
+
+func (ws *streamScratch) genBuf(n int) []float64 {
+	if cap(ws.gen) < n {
+		ws.gen = make([]float64, n)
+	}
+	return ws.gen[:n]
+}
+
+// cutIntAt computes C(z) exactly, iterating edges in fixed order.
+func (k *streamKernel) cutIntAt(z uint64) int64 {
+	var c int64
+	for i, e := range k.edges {
+		if (z>>uint(e.U))&1 != (z>>uint(e.V))&1 {
+			c += k.wInt[i]
+		}
+	}
+	return c
+}
+
+// cutFloatAt computes C(z) in float64, iterating edges in fixed order.
+func (k *streamKernel) cutFloatAt(z uint64) float64 {
+	c := 0.0
+	for i, e := range k.edges {
+		if (z>>uint(e.U))&1 != (z>>uint(e.V))&1 {
+			c += k.wF[i]
+		}
+	}
+	return c
+}
+
+// walkInt streams the exact cut values C(z) for z ∈ [lo, hi): from
+// scratch at the chunk base, then incrementally — when z increments,
+// the flipped bits are the trailing run (z−1)^z; flipping vertex b
+// toggles the cut status of each incident edge, adding its weight when
+// the endpoints agreed before the flip and subtracting it when they
+// differed. Flips are processed low bit first on a running assignment,
+// so simultaneous flips (carry chains) compose correctly.
+func (k *streamKernel) walkInt(lo, hi int, emit func(i int, c int64)) {
+	c := k.cutIntAt(uint64(lo))
+	emit(0, c)
+	for z := lo + 1; z < hi; z++ {
+		prev := uint64(z - 1)
+		flipped := prev ^ uint64(z)
+		zcur := prev
+		for flipped != 0 {
+			b := bits.TrailingZeros64(flipped)
+			flipped &= flipped - 1
+			bbit := (zcur >> uint(b)) & 1
+			for e := k.adjStart[b]; e < k.adjStart[b+1]; e++ {
+				if (zcur>>uint(k.adjVert[e]))&1 == bbit {
+					c += k.adjWInt[e]
+				} else {
+					c -= k.adjWInt[e]
+				}
+			}
+			zcur ^= 1 << uint(b)
+		}
+		emit(z-lo, c)
+	}
+}
+
+// walkFloat is walkInt with float64 accumulation, for graphs whose
+// weights are not (small-range) integers. Incremental float updates are
+// still deterministic per chunk — the update sequence depends only on
+// the chunk bounds — but accumulate rounding relative to from-scratch
+// sums; the chunk base resets error every ReduceChunkLen amplitudes.
+func (k *streamKernel) walkFloat(lo, hi int, emit func(i int, c float64)) {
+	c := k.cutFloatAt(uint64(lo))
+	emit(0, c)
+	for z := lo + 1; z < hi; z++ {
+		prev := uint64(z - 1)
+		flipped := prev ^ uint64(z)
+		zcur := prev
+		for flipped != 0 {
+			b := bits.TrailingZeros64(flipped)
+			flipped &= flipped - 1
+			bbit := (zcur >> uint(b)) & 1
+			for e := k.adjStart[b]; e < k.adjStart[b+1]; e++ {
+				if (zcur>>uint(k.adjVert[e]))&1 == bbit {
+					c += k.adjWF[e]
+				} else {
+					c -= k.adjWF[e]
+				}
+			}
+			zcur ^= 1 << uint(b)
+		}
+		emit(z-lo, c)
+	}
+}
+
+// fillCut writes C(z) for the chunk [lo, hi) into cut (float64 values;
+// exact on the integer path).
+func (k *streamKernel) fillCut(lo, hi int, cut []float64) {
+	if k.integer {
+		k.walkInt(lo, hi, func(i int, c int64) { cut[i] = float64(c) })
+		return
+	}
+	k.walkFloat(lo, hi, func(i int, c float64) { cut[i] = c })
+}
+
+// fillGen writes the phase generator h(z) = (m − 2C(z))/2 for the chunk
+// [lo, hi) into gen — the same convention the materialized Problem
+// kernel factorizes.
+func (k *streamKernel) fillGen(lo, hi int, gen []float64) {
+	if k.integer {
+		k.walkInt(lo, hi, func(i int, c int64) { gen[i] = (k.m - 2*float64(c)) / 2 })
+		return
+	}
+	k.walkFloat(lo, hi, func(i int, c float64) { gen[i] = (k.m - 2*c) / 2 })
+}
+
+// --- costKernel implementation ---
+
+func (k *streamKernel) qubits() int { return k.n }
+
+func (k *streamKernel) factorLen() int { return k.nfac }
+
+// applyPhase applies exp(iγ(m−2C)/2) per amplitude (conj un-applies).
+// Integer path: one factor per possible cut value, computed with the
+// exact arithmetic diagKernel uses for the same distinct values, then
+// indexed per chunk. Float path: per-amplitude Sincos on the streamed
+// generator.
+func (k *streamKernel) applyPhase(st *quantum.State, factors []complex128, gamma float64, conj bool) {
+	dim := st.Dim()
+	if k.integer {
+		sign := 1.0
+		if conj {
+			sign = -1
+		}
+		for j := range factors {
+			h := (k.m - 2*float64(k.cmin+int64(j))) / 2
+			sin, cos := math.Sincos(gamma * h)
+			factors[j] = complex(cos, sign*sin)
+		}
+		quantum.ForEachChunk(dim, func(lo, hi int) {
+			ws := streamScratchPool.Get().(*streamScratch)
+			idx := ws.idxBuf(hi - lo)
+			k.walkInt(lo, hi, func(i int, c int64) { idx[i] = int32(c - k.cmin) })
+			st.MulDiagonalIndexedRange(lo, idx, factors)
+			streamScratchPool.Put(ws)
+		})
+		return
+	}
+	scale := gamma
+	if conj {
+		scale = -gamma
+	}
+	quantum.ForEachChunk(dim, func(lo, hi int) {
+		ws := streamScratchPool.Get().(*streamScratch)
+		gen := ws.genBuf(hi - lo)
+		k.fillGen(lo, hi, gen)
+		st.MulPhaseGenRange(lo, gen, scale)
+		streamScratchPool.Put(ws)
+	})
+}
+
+func (k *streamKernel) expectation(st *quantum.State) float64 {
+	e, _ := quantum.ReduceChunks(st.Dim(), func(lo, hi int) (float64, float64) {
+		ws := streamScratchPool.Get().(*streamScratch)
+		cut := ws.genBuf(hi - lo)
+		k.fillCut(lo, hi, cut)
+		e := st.ExpectationDiagonalRange(lo, cut)
+		streamScratchPool.Put(ws)
+		return e, 0
+	})
+	return e
+}
+
+func (k *streamKernel) seedAdjoint(adj, st *quantum.State) {
+	adj.CopyFrom(st)
+	quantum.ForEachChunk(adj.Dim(), func(lo, hi int) {
+		ws := streamScratchPool.Get().(*streamScratch)
+		cut := ws.genBuf(hi - lo)
+		k.fillCut(lo, hi, cut)
+		adj.MulDiagonalRealRange(lo, cut)
+		streamScratchPool.Put(ws)
+	})
+}
+
+func (k *streamKernel) genInner(adj, st *quantum.State) complex128 {
+	re, im := quantum.ReduceChunks(st.Dim(), func(lo, hi int) (float64, float64) {
+		ws := streamScratchPool.Get().(*streamScratch)
+		gen := ws.genBuf(hi - lo)
+		k.fillGen(lo, hi, gen)
+		re, im := adj.InnerProductDiagonalRange(st, lo, gen)
+		streamScratchPool.Put(ws)
+		return re, im
+	})
+	return complex(re, im)
+}

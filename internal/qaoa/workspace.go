@@ -27,6 +27,38 @@ import (
 // The results match the explicit gate-level circuit (BuildCircuit +
 // Simulate) to rounding error, global phase included.
 
+// costKernel is the per-problem evaluation engine behind EvalWorkspace:
+// how the phase separator exp(iγH_γ) is applied, how ⟨C⟩ is read out,
+// and how the adjoint sweep's matrix elements are taken. Two
+// implementations exist:
+//
+//   - diagKernel (below): materialized 2^n cost diagonal with
+//     distinct-value phase memoization — the small-n fast path.
+//   - streamKernel (stream.go): computes C(z) on the fly from the edge
+//     list per fixed-geometry chunk, so large MaxCut instances never
+//     hold a 2^n float64 table.
+//
+// Both produce results over the same fixed reduction geometry
+// (quantum.ReduceChunks), so expectations and gradients are
+// bit-reproducible across GOMAXPROCS settings.
+type costKernel interface {
+	// qubits returns the register width.
+	qubits() int
+	// factorLen returns the length of the per-workspace factor scratch
+	// the kernel wants (0 if it needs none).
+	factorLen() int
+	// applyPhase applies the phase separator with stage angle gamma to
+	// st (conj un-applies it), using factors as scratch of factorLen().
+	applyPhase(st *quantum.State, factors []complex128, gamma float64, conj bool)
+	// expectation returns ⟨st|C|st⟩.
+	expectation(st *quantum.State) float64
+	// seedAdjoint overwrites adj with C|st⟩.
+	seedAdjoint(adj, st *quantum.State)
+	// genInner returns ⟨adj|H_γ|st⟩, the phase-generator matrix element
+	// of the adjoint sweep.
+	genInner(adj, st *quantum.State) complex128
+}
+
 // diagKernel is the immutable per-problem precomputation: the cost
 // diagonal, and the distinct-value factorization of the phase-separator
 // angles. For parameter γ, amplitude z picks up phase γ·halfAngles[idx[z]];
@@ -69,8 +101,15 @@ func newDiagKernel(n int, diag []float64, coeff func(v float64) float64) *diagKe
 // kernel returns the Problem's phase kernel, building it on first use.
 // Lazy construction keeps any Problem value usable regardless of how it
 // was created; sync.Once makes first use safe under concurrency.
-func (pb *Problem) kernel() *diagKernel {
+// Problems with a materialized CutTable get the memoized diagKernel;
+// streaming-mode problems (CutTable nil, n ≥ StreamingThreshold) get
+// the edge-list streamKernel, which never allocates a 2^n table.
+func (pb *Problem) kernel() costKernel {
 	pb.kernOnce.Do(func() {
+		if pb.CutTable == nil {
+			pb.kern = newStreamKernel(pb.Graph, pb.TotalWeight)
+			return
+		}
 		m := pb.TotalWeight
 		// Each edge contributes e^{iγw/2} when uncut and e^{−iγw/2} when
 		// cut, so amplitude z picks up total phase γ(m − 2C(z))/2 — the
@@ -92,12 +131,45 @@ func (dp *DiagonalProblem) kernel() *diagKernel {
 	return dp.kern
 }
 
+// qubits, factorLen, applyPhase, expectation, seedAdjoint and genInner
+// implement costKernel for the materialized-table path. applyPhase and
+// the adjoint matrix elements run exactly the operations the
+// pre-interface engine ran, so small-n results are byte-for-byte
+// unchanged.
+func (k *diagKernel) qubits() int    { return k.n }
+func (k *diagKernel) factorLen() int { return len(k.halfAngles) }
+
+func (k *diagKernel) applyPhase(st *quantum.State, factors []complex128, gamma float64, conj bool) {
+	sign := 1.0
+	if conj {
+		sign = -1
+	}
+	for j, h := range k.halfAngles {
+		sin, cos := math.Sincos(gamma * h)
+		factors[j] = complex(cos, sign*sin)
+	}
+	st.MulDiagonalIndexed(k.idx, factors)
+}
+
+func (k *diagKernel) expectation(st *quantum.State) float64 {
+	return st.ExpectationDiagonal(k.diag)
+}
+
+func (k *diagKernel) seedAdjoint(adj, st *quantum.State) {
+	adj.CopyFrom(st)
+	adj.MulDiagonalReal(k.diag)
+}
+
+func (k *diagKernel) genInner(adj, st *quantum.State) complex128 {
+	return adj.InnerProductDiagonal(st, k.gen)
+}
+
 // EvalWorkspace owns the preallocated buffers one evaluation stream
 // needs: the state vector and the distinct-phase factor table. A
 // workspace is not safe for concurrent use; create one per goroutine
 // (BatchEvaluator does exactly that).
 type EvalWorkspace struct {
-	k       *diagKernel
+	k       costKernel
 	state   *quantum.State
 	factors []complex128
 
@@ -117,25 +189,20 @@ func (dp *DiagonalProblem) NewWorkspace() *EvalWorkspace {
 	return newWorkspace(dp.kernel())
 }
 
-func newWorkspace(k *diagKernel) *EvalWorkspace {
+func newWorkspace(k costKernel) *EvalWorkspace {
 	return &EvalWorkspace{
 		k:       k,
-		state:   quantum.NewUniformState(k.n),
-		factors: make([]complex128, len(k.halfAngles)),
+		state:   quantum.NewUniformState(k.qubits()),
+		factors: make([]complex128, k.factorLen()),
 	}
 }
 
-// run prepares |ψ(γ,β)⟩ in the given state using the fused kernels.
-// The state must already hold the initial layer (uniform superposition
-// for the standard ansatz).
-func (k *diagKernel) run(st *quantum.State, factors []complex128, gamma, beta []float64) {
+// runKernel prepares |ψ(γ,β)⟩ in the given state using the kernel's
+// fused layers. The state must already hold the initial layer (uniform
+// superposition for the standard ansatz).
+func runKernel(k costKernel, st *quantum.State, factors []complex128, gamma, beta []float64) {
 	for s := range gamma {
-		g := gamma[s]
-		for j, h := range k.halfAngles {
-			sin, cos := math.Sincos(g * h)
-			factors[j] = complex(cos, sin)
-		}
-		st.MulDiagonalIndexed(k.idx, factors)
+		k.applyPhase(st, factors, gamma[s], false)
 		st.RXAll(2 * beta[s])
 	}
 }
@@ -143,8 +210,8 @@ func (k *diagKernel) run(st *quantum.State, factors []complex128, gamma, beta []
 // expectation evaluates ⟨C⟩ at (γ, β), reusing the workspace buffers.
 func (w *EvalWorkspace) expectation(gamma, beta []float64) float64 {
 	w.state.FillUniform()
-	w.k.run(w.state, w.factors, gamma, beta)
-	return w.state.ExpectationDiagonal(w.k.diag)
+	runKernel(w.k, w.state, w.factors, gamma, beta)
+	return w.k.expectation(w.state)
 }
 
 // Expectation returns ⟨ψ(γ,β)|C|ψ(γ,β)⟩ without heap allocation.
@@ -172,7 +239,7 @@ type wsPool struct {
 	pool sync.Pool
 }
 
-func (p *wsPool) get(k *diagKernel) *EvalWorkspace {
+func (p *wsPool) get(k costKernel) *EvalWorkspace {
 	if w, ok := p.pool.Get().(*EvalWorkspace); ok {
 		return w
 	}

@@ -124,7 +124,10 @@ func TestKernelCompressesDistinctCuts(t *testing.T) {
 	rng := rand.New(rand.NewSource(15))
 	g := graph.ErdosRenyiConnected(8, 0.5, rng)
 	pb := mustProblem(t, g)
-	k := pb.kernel()
+	k, ok := pb.kernel().(*diagKernel)
+	if !ok {
+		t.Fatalf("small-n problem built %T, want the materialized *diagKernel", pb.kernel())
+	}
 	if max := g.NumEdges() + 1; len(k.halfAngles) > max {
 		t.Errorf("kernel has %d distinct phase angles, want ≤ %d", len(k.halfAngles), max)
 	}

@@ -1,6 +1,10 @@
 package quantum
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"runtime"
+)
 
 // This file holds the kernels adjoint-mode (reverse-sweep) analytic
 // differentiation is built from. Adjoint differentiation keeps two
@@ -10,11 +14,12 @@ import "fmt"
 // building blocks: buffer reuse, a diagonal-observable application, and
 // the two inner-product forms the QAOA ansatz needs.
 //
-// Unlike the diagonal *application* kernels (MulDiagonalIndexed,
-// ApplyDiagonalPhase), the inner-product reductions stay serial at
-// every register size: a chunk-parallel reduction would change the
-// floating-point summation order with the worker count, and gradients
-// must be bit-reproducible across GOMAXPROCS settings.
+// The inner-product reductions run over the fixed chunk geometry of
+// reduce.go: partial sums are computed per chunk in a fixed order and
+// combined left-to-right, so gradients are bit-reproducible across
+// GOMAXPROCS settings while still scaling across workers at large n.
+// Registers of up to ReduceChunkLen amplitudes keep the exact
+// serial-summation bits of the pre-chunking kernels.
 
 // CopyFrom overwrites s with the amplitudes of t, without allocating.
 // It panics if the register widths differ. This is the in-place
@@ -24,26 +29,66 @@ func (s *State) CopyFrom(t *State) {
 	if s.n != t.n {
 		panic(fmt.Sprintf("quantum: CopyFrom width mismatch %d != %d", s.n, t.n))
 	}
+	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
+		parallelChunks(len(s.amps), func(lo, hi int) {
+			copy(s.amps[lo:hi], t.amps[lo:hi])
+		})
+		return
+	}
 	copy(s.amps, t.amps)
 }
 
 // MulDiagonalReal multiplies amplitude z by the real diagonal entry
 // diag[z] — the application of a diagonal observable D|ψ⟩, which seeds
 // the adjoint state λ = D|ψ⟩ of a reverse sweep. It panics on a length
-// mismatch.
+// mismatch. Element-wise: parallel chunks at large n, bit-identical.
 func (s *State) MulDiagonalReal(diag []float64) {
 	if len(diag) != len(s.amps) {
 		panic(fmt.Sprintf("quantum: diagonal length %d != dim %d", len(diag), len(s.amps)))
 	}
+	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
+		parallelChunks(len(s.amps), func(lo, hi int) {
+			s.MulDiagonalRealRange(lo, diag[lo:hi])
+		})
+		return
+	}
+	s.MulDiagonalRealRange(0, diag)
+}
+
+// MulDiagonalRealRange multiplies amps[lo+i] by diag[i] over one chunk
+// — the streamed form of MulDiagonalReal for cost kernels that generate
+// the diagonal per chunk instead of materializing 2^n entries.
+func (s *State) MulDiagonalRealRange(lo int, diag []float64) {
+	s.checkRange(lo, len(diag))
 	for i, d := range diag {
-		s.amps[i] *= complex(d, 0)
+		s.amps[lo+i] *= complex(d, 0)
+	}
+}
+
+// MulDiagonalIndexedRange multiplies amps[lo+i] by factors[idx[i]] over
+// one chunk — the streamed form of MulDiagonalIndexed for cost kernels
+// whose index table is generated per chunk.
+func (s *State) MulDiagonalIndexedRange(lo int, idx []int32, factors []complex128) {
+	s.checkRange(lo, len(idx))
+	mulIndexedRange(s.amps[lo:lo+len(idx)], idx, factors)
+}
+
+// MulPhaseGenRange multiplies amps[lo+i] by e^{i·scale·gen[i]} over one
+// chunk: the streamed phase separator for cost functions without a
+// small distinct-value set (irrational edge weights). scale carries the
+// stage angle, negated to un-apply.
+func (s *State) MulPhaseGenRange(lo int, gen []float64, scale float64) {
+	s.checkRange(lo, len(gen))
+	for i, h := range gen {
+		sin, cos := math.Sincos(scale * h)
+		s.amps[lo+i] *= complex(cos, sin)
 	}
 }
 
 // InnerProductDiagonal returns ⟨s|D|t⟩ for a real diagonal operator D:
 // Σ_z conj(s_z)·diag[z]·t_z. It panics on width or length mismatches.
-// The reduction is serial so the result is bit-reproducible (see the
-// file comment).
+// The reduction runs over the fixed chunk geometry, so the result is
+// bit-reproducible at every GOMAXPROCS (see the file comment).
 func (s *State) InnerProductDiagonal(t *State, diag []float64) complex128 {
 	if s.n != t.n {
 		panic("quantum: qubit count mismatch in InnerProductDiagonal")
@@ -51,37 +96,90 @@ func (s *State) InnerProductDiagonal(t *State, diag []float64) complex128 {
 	if len(diag) != len(s.amps) {
 		panic(fmt.Sprintf("quantum: diagonal length %d != dim %d", len(diag), len(s.amps)))
 	}
-	var re, im float64
-	for z, d := range diag {
-		a, b := s.amps[z], t.amps[z]
+	if reduceChunkCount(len(s.amps)) == 1 {
+		// Single chunk: call directly so no reduction closure is ever
+		// constructed — the small-n gradient loop stays allocation-free.
+		re, im := s.InnerProductDiagonalRange(t, 0, diag)
+		return complex(re, im)
+	}
+	re, im := ReduceChunks(len(s.amps), func(lo, hi int) (float64, float64) {
+		return s.InnerProductDiagonalRange(t, lo, diag[lo:hi])
+	})
+	return complex(re, im)
+}
+
+// InnerProductDiagonalRange returns one chunk's contribution to
+// ⟨s|D|t⟩: Σ_i conj(s_{lo+i})·diag[i]·t_{lo+i}, accumulated in split
+// real/imag form. Streaming cost kernels call it with per-chunk
+// generated diagonals inside ReduceChunks.
+func (s *State) InnerProductDiagonalRange(t *State, lo int, diag []float64) (re, im float64) {
+	s.checkRange(lo, len(diag))
+	for i, d := range diag {
+		a, b := s.amps[lo+i], t.amps[lo+i]
 		// conj(a)·b·d, accumulated in split real/imag form.
 		re += (real(a)*real(b) + imag(a)*imag(b)) * d
 		im += (real(a)*imag(b) - imag(a)*real(b)) * d
 	}
-	return complex(re, im)
+	return re, im
 }
 
 // InnerProductSumX returns ⟨s| Σ_q X_q |t⟩, the matrix element of the
-// transverse-field mixer generator: Σ_q Σ_z conj(s_z)·t_{z⊕2^q}. One
-// pass per qubit over the amplitude array, no allocation. It panics if
-// the register widths differ.
+// transverse-field mixer generator: Σ_q Σ_z conj(s_z)·t_{z⊕2^q}. No
+// allocation on the serial path. It panics if the register widths
+// differ.
+//
+// Chunking: every ⟨z|X_q|z⊕2^q⟩ pair is accumulated (both orders) at
+// its representative index (the one with bit q clear), in the chunk
+// holding that representative. For q below the chunk width the pair is
+// chunk-local; above it, the representative chunk reads the partner
+// amplitudes from the distant chunk — reads only, so chunks stay
+// write-disjoint. Within a chunk the loop order is fixed (q outer,
+// index inner) and chunks merge in order: bit-identical at every
+// GOMAXPROCS.
 func (s *State) InnerProductSumX(t *State) complex128 {
 	if s.n != t.n {
 		panic("quantum: qubit count mismatch in InnerProductSumX")
 	}
-	var re, im float64
-	for q := 0; q < s.n; q++ {
+	if reduceChunkCount(len(s.amps)) == 1 {
+		re, im := sumXPartial(s.amps, t.amps, 0, len(s.amps), s.n)
+		return complex(re, im)
+	}
+	re, im := ReduceChunks(len(s.amps), func(lo, hi int) (float64, float64) {
+		return sumXPartial(s.amps, t.amps, lo, hi, s.n)
+	})
+	return complex(re, im)
+}
+
+// sumXPartial accumulates the Σ_q X_q matrix-element terms whose
+// representative index lies in [lo, hi). lo is chunk-aligned (a
+// multiple of hi−lo when the range is one chunk of a larger array), so
+// the base-stride walk stays aligned for every bit below the span.
+func sumXPartial(sa, ta []complex128, lo, hi, n int) (re, im float64) {
+	span := hi - lo
+	for q := 0; q < n; q++ {
 		bit := 1 << uint(q)
-		dim := len(s.amps)
-		for base := 0; base < dim; base += bit << 1 {
-			for i := base; i < base+bit; i++ {
+		if bit < span {
+			for base := lo; base < hi; base += bit << 1 {
+				for i := base; i < base+bit; i++ {
+					j := i | bit
+					a, b := sa[i], ta[j] // ⟨z|X_q|z⊕bit⟩ terms, both orders
+					c, d := sa[j], ta[i]
+					re += real(a)*real(b) + imag(a)*imag(b) + real(c)*real(d) + imag(c)*imag(d)
+					im += real(a)*imag(b) - imag(a)*real(b) + real(c)*imag(d) - imag(c)*real(d)
+				}
+			}
+		} else if lo&bit == 0 {
+			// The whole chunk has bit q clear: every index is a
+			// representative whose partner sits bit elements ahead, in a
+			// later chunk (read-only access).
+			for i := lo; i < hi; i++ {
 				j := i | bit
-				a, b := s.amps[i], t.amps[j] // ⟨z|X_q|z⊕bit⟩ terms, both orders
-				c, d := s.amps[j], t.amps[i]
+				a, b := sa[i], ta[j]
+				c, d := sa[j], ta[i]
 				re += real(a)*real(b) + imag(a)*imag(b) + real(c)*real(d) + imag(c)*imag(d)
 				im += real(a)*imag(b) - imag(a)*real(b) + real(c)*imag(d) - imag(c)*real(d)
 			}
 		}
 	}
-	return complex(re, im)
+	return re, im
 }

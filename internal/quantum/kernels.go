@@ -11,13 +11,10 @@ import (
 // is built from. The gate methods in state.go are the readable
 // reference semantics; these kernels compute identical amplitudes (to
 // floating-point rounding) with fewer passes over the state vector and
-// no per-call heap allocation.
-
-// parallelDim is the state-vector length from which diagonal kernels
-// split the amplitude array into per-worker chunks. Below it (n < 16
-// qubits) the whole vector fits in cache and goroutine fan-out costs
-// more than it saves.
-const parallelDim = 1 << 16
+// no per-call heap allocation. Large registers (ParallelDim amplitudes
+// and up) run element-wise kernels on parallel chunks; writes are
+// disjoint and each amplitude's new value depends only on old values,
+// so results are bit-identical to a serial pass at every GOMAXPROCS.
 
 // NewUniformState returns the uniform superposition H^⊗n|0…0⟩, the
 // starting state of every QAOA circuit, without applying n Hadamard
@@ -33,6 +30,15 @@ func NewUniformState(n int) *State {
 // workspaces between objective calls.
 func (s *State) FillUniform() {
 	amp := complex(1/math.Sqrt(float64(len(s.amps))), 0)
+	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
+		parallelChunks(len(s.amps), func(lo, hi int) {
+			amps := s.amps[lo:hi]
+			for i := range amps {
+				amps[i] = amp
+			}
+		})
+		return
+	}
 	for i := range s.amps {
 		s.amps[i] = amp
 	}
@@ -57,25 +63,50 @@ func (s *State) RXAll(theta float64) {
 
 // rxPair applies (c·I + ms·X) ⊗ (c·I + ms·X) to qubits q and q+1 in a
 // single pass: a 4×4 kernel touching each amplitude once where two
-// Apply1Q calls would touch it twice.
+// Apply1Q calls would touch it twice. Large registers split the
+// representative set across workers; the per-amplitude arithmetic is
+// identical, so the result matches the serial pass bit-for-bit.
 func (s *State) rxPair(q int, c, ms complex128) {
 	cc := c * c
 	cm := c * ms
 	mm := ms * ms
+	reps := len(s.amps) >> 2
+	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
+		parallelChunks(reps, func(lo, hi int) {
+			s.rxPairRange(q, lo, hi, cc, cm, mm)
+		})
+		return
+	}
+	s.rxPairRange(q, 0, reps, cc, cm, mm)
+}
+
+// rxPairRange applies the fused two-qubit RX kernel for representatives
+// r ∈ [rlo, rhi). Representative r maps to the amplitude index with the
+// bits of qubits q and q+1 cleared: i = ((r &^ (bit0−1)) << 2) | (r &
+// (bit0−1)); ascending r visits the same (base, offset) pairs as the
+// classic base-stride loop, in the same order.
+func (s *State) rxPairRange(q, rlo, rhi int, cc, cm, mm complex128) {
 	bit0 := 1 << uint(q)
 	bit1 := bit0 << 1
-	dim := len(s.amps)
-	for base := 0; base < dim; base += bit1 << 1 {
-		for i := base; i < base+bit0; i++ {
-			i01 := i | bit0
-			i10 := i | bit1
+	mask := bit0 - 1
+	for r := rlo; r < rhi; {
+		i := ((r &^ mask) << 2) | (r & mask)
+		run := bit0 - (r & mask)
+		if run > rhi-r {
+			run = rhi - r
+		}
+		for k := 0; k < run; k++ {
+			i00 := i + k
+			i01 := i00 | bit0
+			i10 := i00 | bit1
 			i11 := i01 | bit1
-			a00, a01, a10, a11 := s.amps[i], s.amps[i01], s.amps[i10], s.amps[i11]
-			s.amps[i] = cc*a00 + cm*(a01+a10) + mm*a11
+			a00, a01, a10, a11 := s.amps[i00], s.amps[i01], s.amps[i10], s.amps[i11]
+			s.amps[i00] = cc*a00 + cm*(a01+a10) + mm*a11
 			s.amps[i01] = cc*a01 + cm*(a00+a11) + mm*a10
 			s.amps[i10] = cc*a10 + cm*(a00+a11) + mm*a01
 			s.amps[i11] = cc*a11 + cm*(a01+a10) + mm*a00
 		}
+		r += run
 	}
 }
 
@@ -114,7 +145,9 @@ func applyPhaseRange(amps []complex128, phases []float64) {
 
 // parallelChunks runs f over [0,n) split into one contiguous chunk per
 // worker. Chunks are disjoint, so element-wise kernels remain
-// bit-identical to a serial pass regardless of scheduling.
+// bit-identical to a serial pass regardless of scheduling. (Reductions
+// must NOT use this: its geometry depends on GOMAXPROCS. They go
+// through ReduceChunks, whose geometry is fixed by the dimension.)
 func parallelChunks(n int, f func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {

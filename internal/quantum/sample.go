@@ -1,0 +1,88 @@
+package quantum
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"sync"
+)
+
+// Measurement sampling with pooled scratch. Building the cumulative
+// distribution costs one 2^n float64 table per call; at 1024 shots the
+// map-based SampleCounts additionally paid ~12 allocations per call for
+// map growth. Both scratch buffers (the CDF and the per-shot outcome
+// list) now come from a package-level pool, so a warm SampleOutcomes
+// call performs one allocation: the returned slice.
+
+// OutcomeCount is one measurement outcome and how many of the shots
+// produced it.
+type OutcomeCount struct {
+	Outcome uint64
+	Count   int
+}
+
+// sampleScratch is the pooled working set of one SampleOutcomes call.
+type sampleScratch struct {
+	cdf      []float64
+	outcomes []uint64
+}
+
+var samplePool = sync.Pool{New: func() any { return &sampleScratch{} }}
+
+// SampleOutcomes draws shots measurements and returns the observed
+// outcomes with their counts, sorted by outcome. It consumes the RNG
+// identically to repeated Sample calls (one Float64 per shot) and
+// produces exactly the per-shot outcomes the linear scan would: the CDF
+// accumulates probabilities in the same index order, and each shot
+// takes the smallest z with r < cdf[z]. Warm calls allocate only the
+// returned slice.
+func (s *State) SampleOutcomes(shots int, rng *rand.Rand) []OutcomeCount {
+	if shots <= 0 {
+		return nil
+	}
+	ws := samplePool.Get().(*sampleScratch)
+	dim := len(s.amps)
+	if cap(ws.cdf) < dim {
+		ws.cdf = make([]float64, dim)
+	}
+	cdf := ws.cdf[:dim]
+	acc := 0.0
+	for i, a := range s.amps {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		cdf[i] = acc
+	}
+	if cap(ws.outcomes) < shots {
+		ws.outcomes = make([]uint64, shots)
+	}
+	outcomes := ws.outcomes[:shots]
+	for i := range outcomes {
+		r := rng.Float64()
+		z := sort.Search(dim, func(j int) bool { return r < cdf[j] })
+		if z == dim {
+			z = dim - 1 // roundoff: return last state
+		}
+		outcomes[i] = uint64(z)
+	}
+	// Sort-and-run-length-encode replaces the counting map: the counts
+	// per outcome are order-independent, and the result comes back
+	// outcome-sorted.
+	slices.Sort(outcomes)
+	distinct := 1
+	for i := 1; i < len(outcomes); i++ {
+		if outcomes[i] != outcomes[i-1] {
+			distinct++
+		}
+	}
+	out := make([]OutcomeCount, 0, distinct)
+	run := 1
+	for i := 1; i <= len(outcomes); i++ {
+		if i < len(outcomes) && outcomes[i] == outcomes[i-1] {
+			run++
+			continue
+		}
+		out = append(out, OutcomeCount{Outcome: outcomes[i-1], Count: run})
+		run = 1
+	}
+	samplePool.Put(ws)
+	return out
+}

@@ -14,7 +14,6 @@ import (
 	"math/cmplx"
 	"math/rand"
 	"runtime"
-	"sort"
 )
 
 // MaxQubits bounds state allocation (2^24 amplitudes ≈ 256 MiB).
@@ -64,12 +63,26 @@ func (s *State) Clone() *State {
 }
 
 // Norm returns the 2-norm of the state vector (1 for a valid state).
+// The sum runs over the fixed reduction geometry (reduce.go), so it is
+// bit-identical at every GOMAXPROCS setting.
 func (s *State) Norm() float64 {
+	if reduceChunkCount(len(s.amps)) == 1 {
+		// Single chunk: no reduction closure, no allocation.
+		return math.Sqrt(normSqPartial(s.amps))
+	}
+	t, _ := ReduceChunks(len(s.amps), func(lo, hi int) (float64, float64) {
+		return normSqPartial(s.amps[lo:hi]), 0
+	})
+	return math.Sqrt(t)
+}
+
+// normSqPartial returns Σ|a|² over one contiguous amplitude range.
+func normSqPartial(amps []complex128) float64 {
 	t := 0.0
-	for _, a := range s.amps {
+	for _, a := range amps {
 		t += real(a)*real(a) + imag(a)*imag(a)
 	}
-	return math.Sqrt(t)
+	return t
 }
 
 // Normalize rescales the state to unit norm. It panics on a zero vector.
@@ -79,6 +92,15 @@ func (s *State) Normalize() {
 		panic("quantum: cannot normalize zero state")
 	}
 	inv := complex(1/n, 0)
+	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
+		parallelChunks(len(s.amps), func(lo, hi int) {
+			amps := s.amps[lo:hi]
+			for i := range amps {
+				amps[i] *= inv
+			}
+		})
+		return
+	}
 	for i := range s.amps {
 		s.amps[i] *= inv
 	}
@@ -100,16 +122,32 @@ func (s *State) Probabilities() []float64 {
 	return p
 }
 
-// InnerProduct returns ⟨s|t⟩. It panics if widths differ.
+// InnerProduct returns ⟨s|t⟩. It panics if widths differ. The sum runs
+// over the fixed reduction geometry (reduce.go): bit-identical results
+// at every GOMAXPROCS setting.
 func (s *State) InnerProduct(t *State) complex128 {
 	if s.n != t.n {
 		panic("quantum: qubit count mismatch in InnerProduct")
 	}
-	var acc complex128
-	for i := range s.amps {
-		acc += cmplx.Conj(s.amps[i]) * t.amps[i]
+	if reduceChunkCount(len(s.amps)) == 1 {
+		re, im := dotPartial(s.amps, t.amps)
+		return complex(re, im)
 	}
-	return acc
+	re, im := ReduceChunks(len(s.amps), func(lo, hi int) (float64, float64) {
+		return dotPartial(s.amps[lo:hi], t.amps[lo:hi])
+	})
+	return complex(re, im)
+}
+
+// dotPartial returns Σ conj(sa[i])·ta[i] over one contiguous range, in
+// split real/imag form.
+func dotPartial(sa, ta []complex128) (re, im float64) {
+	for i, a := range sa {
+		b := ta[i]
+		re += real(a)*real(b) + imag(a)*imag(b)
+		im += real(a)*imag(b) - imag(a)*real(b)
+	}
+	return re, im
 }
 
 // Fidelity returns |⟨s|t⟩|².
@@ -125,11 +163,52 @@ func (s *State) ExpectationDiagonal(diag []float64) float64 {
 	if len(diag) != len(s.amps) {
 		panic(fmt.Sprintf("quantum: diagonal length %d != dim %d", len(diag), len(s.amps)))
 	}
+	if reduceChunkCount(len(s.amps)) == 1 {
+		return s.ExpectationDiagonalRange(0, diag)
+	}
+	e, _ := ReduceChunks(len(s.amps), func(lo, hi int) (float64, float64) {
+		return s.ExpectationDiagonalRange(lo, diag[lo:hi]), 0
+	})
+	return e
+}
+
+// ExpectationDiagonalRange returns the partial sum Σ |amp[lo+i]|²·diag[i]
+// over the range [lo, lo+len(diag)) — one chunk's contribution to
+// ExpectationDiagonal. Streaming cost kernels call it with a diagonal
+// slice they fill per chunk, inside ReduceChunks, so the combined value
+// is bit-identical to the materialized-table path.
+func (s *State) ExpectationDiagonalRange(lo int, diag []float64) float64 {
+	s.checkRange(lo, len(diag))
 	e := 0.0
-	for i, a := range s.amps {
-		e += (real(a)*real(a) + imag(a)*imag(a)) * diag[i]
+	for i, d := range diag {
+		a := s.amps[lo+i]
+		e += (real(a)*real(a) + imag(a)*imag(a)) * d
 	}
 	return e
+}
+
+// ArgmaxProbability returns the basis state with the largest |amp|² and
+// that probability, scanning in ascending index order (first maximum
+// wins). It replaces Probabilities()-then-scan readouts, which allocate
+// a 2^n table.
+func (s *State) ArgmaxProbability() (uint64, float64) {
+	best := -1.0
+	var arg uint64
+	for i, a := range s.amps {
+		if p := real(a)*real(a) + imag(a)*imag(a); p > best {
+			best = p
+			arg = uint64(i)
+		}
+	}
+	return arg, best
+}
+
+// checkRange panics unless [lo, lo+length) lies within the amplitude
+// array.
+func (s *State) checkRange(lo, length int) {
+	if lo < 0 || length < 0 || lo+length > len(s.amps) {
+		panic(fmt.Sprintf("quantum: range [%d,%d) out of dim %d", lo, lo+length, len(s.amps)))
+	}
 }
 
 // Sample draws one computational-basis measurement outcome.
@@ -145,32 +224,16 @@ func (s *State) Sample(rng *rand.Rand) uint64 {
 	return uint64(len(s.amps) - 1) // roundoff: return last state
 }
 
-// SampleCounts draws shots measurements and returns outcome counts.
-// It builds the cumulative distribution once and binary-searches per
-// shot — O(2^n + shots·n) against the O(shots·2^n) of repeated Sample
-// calls — while consuming the RNG identically (one Float64 per shot),
-// so a given seed yields exactly the counts the per-shot linear scan
-// would.
+// SampleCounts draws shots measurements and returns outcome counts as a
+// map. It is a convenience wrapper over SampleOutcomes (sample.go),
+// which is the allocation-lean form; both consume the RNG identically
+// to the per-shot linear scan (one Float64 per shot, same outcome per
+// shot).
 func (s *State) SampleCounts(shots int, rng *rand.Rand) map[uint64]int {
-	counts := make(map[uint64]int)
-	if shots <= 0 {
-		return counts
-	}
-	cdf := make([]float64, len(s.amps))
-	acc := 0.0
-	for i, a := range s.amps {
-		acc += real(a)*real(a) + imag(a)*imag(a)
-		cdf[i] = acc
-	}
-	for i := 0; i < shots; i++ {
-		r := rng.Float64()
-		// Smallest z with r < cdf[z]: the same outcome Sample's running
-		// scan returns, because cdf accumulates in the same order.
-		z := sort.Search(len(cdf), func(j int) bool { return r < cdf[j] })
-		if z == len(cdf) {
-			z = len(cdf) - 1 // roundoff: return last state
-		}
-		counts[uint64(z)]++
+	pairs := s.SampleOutcomes(shots, rng)
+	counts := make(map[uint64]int, len(pairs))
+	for _, p := range pairs {
+		counts[p.Outcome] = p.Count
 	}
 	return counts
 }
@@ -178,17 +241,44 @@ func (s *State) SampleCounts(shots int, rng *rand.Rand) map[uint64]int {
 // --- single-qubit gates ---
 
 // Apply1Q applies the 2×2 unitary [[u00,u01],[u10,u11]] to qubit q.
+// Large registers split the 2^(n−1) amplitude pairs across workers;
+// each pair is written by exactly one worker with the same arithmetic
+// the serial pass uses, so the result is bit-identical at every
+// GOMAXPROCS.
 func (s *State) Apply1Q(q int, u00, u01, u10, u11 complex128) {
 	s.checkQubit(q)
 	bit := 1 << uint(q)
-	dim := len(s.amps)
-	for base := 0; base < dim; base += bit << 1 {
-		for i := base; i < base+bit; i++ {
-			j := i | bit
-			a, b := s.amps[i], s.amps[j]
-			s.amps[i] = u00*a + u01*b
+	reps := len(s.amps) >> 1
+	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
+		parallelChunks(reps, func(lo, hi int) {
+			s.apply1QRange(bit, lo, hi, u00, u01, u10, u11)
+		})
+		return
+	}
+	s.apply1QRange(bit, 0, reps, u00, u01, u10, u11)
+}
+
+// apply1QRange applies the 2×2 kernel for pair representatives
+// r ∈ [rlo, rhi). Representative r maps to the lower index of the pair
+// by re-inserting a cleared target bit: i = ((r &^ (bit−1)) << 1) |
+// (r & (bit−1)); ascending r walks the same (base, offset) order as the
+// classic base-stride loop.
+func (s *State) apply1QRange(bit, rlo, rhi int, u00, u01, u10, u11 complex128) {
+	mask := bit - 1
+	for r := rlo; r < rhi; {
+		i := ((r &^ mask) << 1) | (r & mask)
+		run := bit - (r & mask)
+		if run > rhi-r {
+			run = rhi - r
+		}
+		for k := 0; k < run; k++ {
+			ii := i + k
+			j := ii | bit
+			a, b := s.amps[ii], s.amps[j]
+			s.amps[ii] = u00*a + u01*b
 			s.amps[j] = u10*a + u11*b
 		}
+		r += run
 	}
 }
 
@@ -222,13 +312,25 @@ func (s *State) RY(q int, theta float64) {
 }
 
 // RZ applies RZ(θ) = exp(-iθZ/2) = diag(e^{-iθ/2}, e^{iθ/2}) to qubit q.
+// Element-wise diagonal: large registers run parallel chunks with
+// bit-identical results.
 func (s *State) RZ(q int, theta float64) {
 	s.checkQubit(q)
 	sin, cos := math.Sincos(theta / 2)
 	p0 := complex(cos, -sin)
 	p1 := complex(cos, sin)
 	bit := 1 << uint(q)
-	for i := range s.amps {
+	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
+		parallelChunks(len(s.amps), func(lo, hi int) {
+			s.rzRange(bit, lo, hi, p0, p1)
+		})
+		return
+	}
+	s.rzRange(bit, 0, len(s.amps), p0, p1)
+}
+
+func (s *State) rzRange(bit, lo, hi int, p0, p1 complex128) {
+	for i := lo; i < hi; i++ {
 		if i&bit == 0 {
 			s.amps[i] *= p0
 		} else {
@@ -338,7 +440,17 @@ func (s *State) ZZ(a, b int, theta float64) {
 	pSame := complex(cos, -sin) // Z⊗Z eigenvalue +1
 	pDiff := complex(cos, sin)  // Z⊗Z eigenvalue -1
 	abit, bbit := 1<<uint(a), 1<<uint(b)
-	for i := range s.amps {
+	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
+		parallelChunks(len(s.amps), func(lo, hi int) {
+			s.zzRange(abit, bbit, lo, hi, pSame, pDiff)
+		})
+		return
+	}
+	s.zzRange(abit, bbit, 0, len(s.amps), pSame, pDiff)
+}
+
+func (s *State) zzRange(abit, bbit, lo, hi int, pSame, pDiff complex128) {
+	for i := lo; i < hi; i++ {
 		if (i&abit != 0) == (i&bbit != 0) {
 			s.amps[i] *= pSame
 		} else {
