@@ -1,0 +1,168 @@
+// Command qaoad is the QAOA-as-a-service daemon: an HTTP JSON API that
+// accepts MaxCut instances and solves them with the naive or the
+// ML-accelerated two-level flow on a bounded worker pool.
+//
+// Usage:
+//
+//	qaoad [flags]
+//
+// Endpoints:
+//
+//	POST   /v1/solve      submit an instance (wait=true blocks until done)
+//	GET    /v1/jobs/{id}  poll a job
+//	DELETE /v1/jobs/{id}  cancel a job
+//	GET    /healthz       liveness + queue depth + registered models
+//	GET    /metrics       telemetry snapshot (latency histograms, gauges)
+//
+// Pre-trained two-level predictors are loaded from -models (one
+// core.Predictor JSON per model, name = file base) and hot-reloaded on
+// SIGHUP without dropping in-flight jobs. -train bootstraps a "default"
+// model at startup when the directory provides none. SIGINT/SIGTERM
+// drain gracefully: accepted jobs finish (up to -drain-grace), new
+// submissions get 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qaoaml/internal/core"
+	"qaoaml/internal/server"
+)
+
+type daemonConfig struct {
+	addr       string
+	models     string
+	drainGrace time.Duration
+
+	train       bool
+	trainGraphs int
+	trainDepth  int
+	trainSeed   int64
+
+	srv server.Config
+}
+
+func registerFlags(fs *flag.FlagSet, c *daemonConfig) {
+	fs.StringVar(&c.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&c.models, "models", "", "directory of pre-trained predictor JSON files (SIGHUP reloads)")
+	fs.DurationVar(&c.drainGrace, "drain-grace", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
+	fs.BoolVar(&c.train, "train", false, "train a \"default\" model at startup if the registry has none")
+	fs.IntVar(&c.trainGraphs, "train-graphs", 16, "dataset size for -train")
+	fs.IntVar(&c.trainDepth, "train-depth", 5, "largest target depth for -train")
+	fs.Int64Var(&c.trainSeed, "train-seed", 1, "dataset RNG seed for -train")
+	fs.IntVar(&c.srv.Workers, "workers", 0, "solve worker pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&c.srv.QueueDepth, "queue", 0, "job queue bound; full queue returns 429 (0 = default 64)")
+	fs.IntVar(&c.srv.CacheSize, "cache", 0, "LRU result cache entries (0 = default 256)")
+	fs.IntVar(&c.srv.MaxJobs, "max-jobs", 0, "retained finished job records (0 = default 1024)")
+	fs.DurationVar(&c.srv.DefaultTimeout, "job-timeout", 0, "default per-job deadline (0 = 60s)")
+	fs.DurationVar(&c.srv.MaxTimeout, "max-timeout", 0, "cap on requested per-job deadlines (0 = 10m)")
+	fs.IntVar(&c.srv.MaxNodes, "max-nodes", 0, "largest accepted instance (0 = default 20, hard cap 30)")
+	fs.IntVar(&c.srv.MaxDepth, "max-depth", 0, "largest accepted circuit depth (0 = default 10)")
+}
+
+func main() {
+	var cfg daemonConfig
+	registerFlags(flag.CommandLine, &cfg)
+	flag.Parse()
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "qaoad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg daemonConfig) error {
+	logger := log.New(os.Stderr, "qaoad: ", log.LstdFlags)
+
+	reg, err := server.NewRegistry(cfg.models)
+	if err != nil {
+		return err
+	}
+	if cfg.train {
+		if _, ok := reg.Get("default"); !ok {
+			if err := trainDefault(reg, cfg, logger); err != nil {
+				return err
+			}
+		}
+	}
+	if names := reg.Names(); len(names) > 0 {
+		logger.Printf("models: %v", names)
+	} else {
+		logger.Printf("no models registered: serving strategy \"naive\" only (use -models or -train)")
+	}
+
+	cfg.srv.Registry = reg
+	s := server.New(cfg.srv)
+
+	// SIGHUP hot-reloads the model directory for the daemon's lifetime.
+	hupCtx, hupCancel := context.WithCancel(context.Background())
+	defer hupCancel()
+	reg.WatchHUP(hupCtx, func(err error) {
+		logger.Printf("model reload failed (previous set still serving): %v", err)
+	})
+
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", cfg.addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case sig := <-sigc:
+		logger.Printf("%s: draining (grace %v)", sig, cfg.drainGrace)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainGrace)
+	defer cancel()
+	// Stop accepting connections first, then let queued and running jobs
+	// finish inside the grace budget.
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := s.Drain(drainCtx); err != nil {
+		logger.Printf("drain expired: outstanding jobs cancelled (%v)", err)
+	} else {
+		logger.Printf("drained cleanly")
+	}
+	return nil
+}
+
+// trainDefault generates a small dataset and trains the "default"
+// two-level predictor in-process — the zero-setup path for trying the
+// daemon without a model directory.
+func trainDefault(reg *server.Registry, cfg daemonConfig, logger *log.Logger) error {
+	start := time.Now()
+	logger.Printf("training default model: %d graphs × depths 1..%d (seed %d)...",
+		cfg.trainGraphs, cfg.trainDepth, cfg.trainSeed)
+	data, err := core.Generate(core.DataGenConfig{
+		NumGraphs: cfg.trainGraphs, Nodes: 8, EdgeProb: 0.5,
+		MaxDepth: cfg.trainDepth, Starts: 2, Tol: 1e-6,
+		Seed: cfg.trainSeed, Workers: cfg.srv.Workers,
+	})
+	if err != nil {
+		return fmt.Errorf("training dataset: %w", err)
+	}
+	train, _ := data.SplitIndices(0.8, cfg.trainSeed)
+	pred := core.NewPredictor(nil)
+	if err := pred.Train(data, train); err != nil {
+		return fmt.Errorf("training default model: %w", err)
+	}
+	reg.Register("default", pred)
+	logger.Printf("default model ready in %v (target depths %v)",
+		time.Since(start).Round(time.Millisecond), pred.TargetDepths())
+	return nil
+}

@@ -36,6 +36,7 @@ type RunConfig struct {
 	SaveData string
 	LoadData string
 	CSVDir   string
+	ModelOut string // export the trained predictor for qaoad -models
 }
 
 // RegisterFlags binds the config's fields to fs.
@@ -56,6 +57,7 @@ func (c *RunConfig) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.SaveData, "save-data", "", "write the generated dataset to this JSON file")
 	fs.StringVar(&c.LoadData, "load-data", "", "load the dataset from this JSON file instead of generating")
 	fs.StringVar(&c.CSVDir, "csv", "", "also write each experiment's result as CSV into this directory")
+	fs.StringVar(&c.ModelOut, "model-out", "", "write the trained predictor as JSON (servable via qaoad -models)")
 }
 
 // FromFlags parses args into a validated RunConfig.

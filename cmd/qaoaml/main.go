@@ -142,6 +142,16 @@ func run(ctx context.Context, name string, cfg RunConfig, mem *telemetry.Memory)
 		fmt.Printf("dataset ready in %v: %d optimal parameters, %d train / %d test graphs\n\n",
 			time.Since(start).Round(time.Millisecond), env.Data.NumParams(),
 			len(env.TrainIDs), len(env.TestIDs))
+		if cfg.ModelOut != "" {
+			if err := env.Predictor.SaveFile(cfg.ModelOut); err != nil {
+				return err
+			}
+			fmt.Printf("trained model written to %s (target depths %v)\n\n",
+				cfg.ModelOut, env.Predictor.TargetDepths())
+		}
+	}
+	if cfg.ModelOut != "" && env == nil {
+		return fmt.Errorf("-model-out needs an experiment that trains the predictor (e.g. datagen)")
 	}
 	if err := ctx.Err(); err != nil {
 		return err

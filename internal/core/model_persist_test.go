@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var persistEnv struct {
+	once sync.Once
+	data *Data
+	pred *Predictor
+	err  error
+}
+
+// trainedPredictor generates a tiny dataset and trains a GPR predictor
+// once for the persistence tests.
+func trainedPredictor(t *testing.T) (*Data, *Predictor) {
+	t.Helper()
+	persistEnv.once.Do(func() {
+		data, err := Generate(DataGenConfig{
+			NumGraphs: 8, Nodes: 6, EdgeProb: 0.5,
+			MaxDepth: 3, Starts: 2, Tol: 1e-6, Seed: 11,
+		})
+		if err != nil {
+			persistEnv.err = err
+			return
+		}
+		pred := NewPredictor(nil)
+		if err := pred.Train(data, []int{0, 1, 2, 3, 4}); err != nil {
+			persistEnv.err = err
+			return
+		}
+		persistEnv.data, persistEnv.pred = data, pred
+	})
+	if persistEnv.err != nil {
+		t.Fatal(persistEnv.err)
+	}
+	return persistEnv.data, persistEnv.pred
+}
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	data, pred := trainedPredictor(t)
+
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPredictor(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := loaded.TargetDepths(), pred.TargetDepths(); len(got) != len(want) {
+		t.Fatalf("target depths %v != %v", got, want)
+	}
+	// Predictions from the loaded banks must be bit-identical on every
+	// held-out feature vector.
+	for g := 5; g < 8; g++ {
+		p1 := data.Record(g, 1).Params
+		for depth := 2; depth <= 3; depth++ {
+			f := FeaturesFromParams(p1, depth)
+			want, err := pred.Predict(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := loaded.Predict(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want.Gamma {
+				if want.Gamma[i] != got.Gamma[i] || want.Beta[i] != got.Beta[i] {
+					t.Fatalf("graph %d depth %d: prediction drifted: %v/%v != %v/%v",
+						g, depth, got.Gamma, got.Beta, want.Gamma, want.Beta)
+				}
+			}
+		}
+	}
+}
+
+func TestPredictorSaveFileRoundTrip(t *testing.T) {
+	_, pred := trainedPredictor(t)
+	path := t.TempDir() + "/model.json"
+	if err := pred.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPredictorFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictorSaveUntrained(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewPredictor(nil).Save(&buf); err == nil {
+		t.Fatal("saving untrained predictor succeeded")
+	}
+}
+
+func TestLoadPredictorRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad version":   `{"version":9,"family":"GPR","banks":{}}`,
+		"no banks":      `{"version":1,"family":"GPR","banks":{}}`,
+		"bad family":    `{"version":1,"family":"NOPE","banks":{"2":{"models":[]}}}`,
+		"bad depth key": `{"version":1,"family":"LM","banks":{"x":{"models":[]}}}`,
+		"garbage":       `{{`,
+	}
+	for name, blob := range cases {
+		if _, err := LoadPredictor(strings.NewReader(blob)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadPredictorChecksBankWidth(t *testing.T) {
+	_, pred := trainedPredictor(t)
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Re-key the depth-2 bank (4 outputs) as depth 3 (needs 6).
+	blob := buf.String()
+	blob = strings.Replace(blob, `"2":`, `"9":`, 1)
+	if _, err := LoadPredictor(strings.NewReader(blob)); err == nil {
+		t.Fatal("bank width mismatch accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+)
+
+// Fingerprint returns a deterministic canonical hash of the graph: the
+// SHA-256 of the vertex count followed by the (u, v, w) edge triples in
+// sorted (u, v) order, with weights encoded as IEEE-754 bits. Two graphs
+// have equal fingerprints iff they have the same vertex count and the
+// same weighted edge set, regardless of edge insertion order — which
+// makes the fingerprint a safe cache key for solve results (see
+// internal/server): an instance hashes to the same key however the
+// client happened to serialize its edge list.
+//
+// The hash is NOT invariant under vertex relabeling: MaxCut assignments
+// are reported per vertex index, so isomorphic-but-relabeled instances
+// are deliberately distinct.
+func (g *Graph) Fingerprint() string {
+	// Sort edge indices by (U, V); edges are stored with U < V, so this
+	// is a total order over the edge set.
+	idx := make([]int, len(g.edges))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ea, eb := g.edges[idx[a]], g.edges[idx[b]]
+		if ea.U != eb.U {
+			return ea.U < eb.U
+		}
+		return ea.V < eb.V
+	})
+
+	h := sha256.New()
+	var buf [8 * 3]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(g.N))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(g.edges)))
+	h.Write(buf[:16])
+	for _, i := range idx {
+		e := g.edges[i]
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(e.U))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(e.V))
+		binary.LittleEndian.PutUint64(buf[16:24], math.Float64bits(g.weights[i]))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// saveTestModel writes the shared predictor into dir under name.json.
+func saveTestModel(t *testing.T, dir, name string) {
+	t.Helper()
+	if err := testPredictor(t).SaveFile(filepath.Join(dir, name+".json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryLoadsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	saveTestModel(t, dir, "default")
+	saveTestModel(t, dir, "gpr-8q")
+
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := reg.Names()
+	if len(names) != 2 || names[0] != "default" || names[1] != "gpr-8q" {
+		t.Fatalf("names %v", names)
+	}
+	pred, ok := reg.Get("default")
+	if !ok {
+		t.Fatal("default model missing")
+	}
+	if got, want := pred.TargetDepths(), testPredictor(t).TargetDepths(); len(got) != len(want) {
+		t.Fatalf("loaded depths %v, want %v", got, want)
+	}
+}
+
+func TestRegistryRejectsCorruptDirectory(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegistry(dir); err == nil {
+		t.Fatal("corrupt model dir accepted at startup")
+	}
+}
+
+func TestRegistryReload(t *testing.T) {
+	dir := t.TempDir()
+	saveTestModel(t, dir, "default")
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A new model file appears; Reload picks it up.
+	saveTestModel(t, dir, "fresh")
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Get("fresh"); !ok {
+		t.Fatal("reload did not pick up the new model")
+	}
+	if reg.Reloads() != 1 {
+		t.Fatalf("reload count %d", reg.Reloads())
+	}
+
+	// In-process registrations survive reloads.
+	reg.Register("inproc", testPredictor(t))
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Get("inproc"); !ok {
+		t.Fatal("reload dropped the in-process model")
+	}
+
+	// A corrupt file fails the reload and keeps the previous set serving.
+	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload(); err == nil {
+		t.Fatal("corrupt reload reported success")
+	}
+	if _, ok := reg.Get("default"); !ok {
+		t.Fatal("failed reload dropped the serving models")
+	}
+	if _, ok := reg.Get("fresh"); !ok {
+		t.Fatal("failed reload dropped the serving models")
+	}
+
+	// A removed file disappears on the next successful reload.
+	if err := os.Remove(filepath.Join(dir, "broken.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "fresh.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Get("fresh"); ok {
+		t.Fatal("deleted model still registered after reload")
+	}
+}
+
+func TestRegistryWatchHUP(t *testing.T) {
+	dir := t.TempDir()
+	saveTestModel(t, dir, "default")
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reg.WatchHUP(ctx, nil)
+
+	saveTestModel(t, dir, "hupped")
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Reloads() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("SIGHUP did not trigger a reload")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, ok := reg.Get("hupped"); !ok {
+		t.Fatal("reloaded set missing the new model")
+	}
+}

@@ -1,0 +1,639 @@
+// Package server is the QAOA-as-a-service layer: an HTTP JSON API that
+// accepts MaxCut instances and runs them through the core naive or
+// two-level (ML-initialized, Fig. 4) flows on a bounded worker pool.
+//
+// The subsystem is built from four pieces:
+//
+//   - a bounded job queue drained by a fixed worker pool, with explicit
+//     backpressure (429 + Retry-After) when the queue is full;
+//   - an LRU result cache keyed by the canonical graph fingerprint plus
+//     solve options, with single-flight coalescing of identical
+//     in-flight requests;
+//   - a model Registry of pre-trained parameter predictors, hot-
+//     reloadable on SIGHUP;
+//   - per-job deadlines and client-disconnect propagation as context
+//     cancellation into the optimizers, plus graceful drain on
+//     shutdown.
+//
+// Endpoints: POST /v1/solve, GET /v1/jobs/{id}, DELETE /v1/jobs/{id},
+// GET /healthz, GET /metrics (a telemetry.Memory snapshot with
+// per-endpoint latency histograms and queue-depth gauges).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"qaoaml/internal/core"
+	"qaoaml/internal/graph"
+	"qaoaml/internal/optimize"
+	"qaoaml/internal/qaoa"
+	"qaoaml/internal/telemetry"
+)
+
+// Solve strategies.
+const (
+	StrategyNaive    = "naive"     // random init at the target depth (Fig. 1(a))
+	StrategyTwoLevel = "two-level" // depth-1 optimum → ML prediction → polish (Fig. 4)
+)
+
+// Config sizes the daemon. The zero value is usable: every field has a
+// production default.
+type Config struct {
+	// Workers sizes the solve worker pool; 0 means GOMAXPROCS, matching
+	// experiments.Scale.Workers semantics.
+	Workers int
+	// QueueDepth bounds the job queue (default 64). A full queue rejects
+	// submissions with 429 + Retry-After.
+	QueueDepth int
+	// CacheSize bounds the LRU result cache entries (default 256).
+	CacheSize int
+	// MaxJobs bounds retained finished job records (default 1024).
+	MaxJobs int
+	// DefaultTimeout applies to jobs that request none (default 60s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps requested per-job deadlines (default 10m).
+	MaxTimeout time.Duration
+	// MaxNodes caps instance size (default 20; hard limit 30 — the exact
+	// MaxCut reference needed for AR is brute-forced).
+	MaxNodes int
+	// MaxDepth caps the requested circuit depth (default 10).
+	MaxDepth int
+	// Registry resolves two-level model names (nil: empty registry,
+	// naive-only serving until Register is called).
+	Registry *Registry
+	// Recorder receives all server and optimizer telemetry (nil: a
+	// fresh telemetry.Memory, exposed via Metrics).
+	Recorder *telemetry.Memory
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 20
+	}
+	if c.MaxNodes > 30 {
+		c.MaxNodes = 30
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 10
+	}
+	return c
+}
+
+// SolveRequest is the POST /v1/solve body.
+type SolveRequest struct {
+	Nodes   int       `json:"nodes"`
+	Edges   [][2]int  `json:"edges"`
+	Weights []float64 `json:"weights,omitempty"` // parallel to Edges; omitted = unweighted
+	Depth   int       `json:"depth"`
+	// Strategy is "two-level" (default) or "naive".
+	Strategy string `json:"strategy,omitempty"`
+	// Optimizer is lbfgsb (default), neldermead, slsqp or cobyla.
+	Optimizer string `json:"optimizer,omitempty"`
+	// Model names the registry predictor for two-level (default "default").
+	Model string `json:"model,omitempty"`
+	// Seed fixes the run RNG (default 1); identical requests are
+	// therefore deterministic, which is what makes the result cache
+	// exact rather than approximate.
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMs bounds the solve from enqueue time (default
+	// Config.DefaultTimeout, capped at Config.MaxTimeout).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Wait blocks the HTTP request until the job finishes; a client
+	// disconnect then cancels the job (unless it was coalesced onto an
+	// earlier identical request).
+	Wait bool `json:"wait,omitempty"`
+}
+
+// Server is the serving subsystem: HTTP handlers in front of the job
+// queue, worker pool, result cache and model registry.
+type Server struct {
+	cfg      Config
+	mem      *telemetry.Memory
+	registry *Registry
+	jobs     *jobStore
+	cache    *lruCache
+	queue    chan *Job
+
+	mu       sync.Mutex
+	inflight map[string]*Job // cache key → queued/running job
+	draining bool
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	mux        *http.ServeMux
+
+	// solveFn runs one job's optimization; tests swap it to make
+	// cancellation timing deterministic.
+	solveFn func(ctx context.Context, job *Job) (*SolveResult, error)
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	mem := cfg.Recorder
+	if mem == nil {
+		mem = telemetry.NewMemory()
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg, _ = NewRegistry("")
+	}
+	for _, route := range []string{"solve", "jobs", "healthz", "metrics"} {
+		mem.DefineBuckets("server.http."+route+"_ms", telemetry.ExpBuckets(0.25, 2, 18))
+	}
+	s := &Server{
+		cfg:      cfg,
+		mem:      mem,
+		registry: reg,
+		jobs:     newJobStore(cfg.MaxJobs),
+		cache:    newLRUCache(cfg.CacheSize),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		inflight: make(map[string]*Job),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.solveFn = s.runSolve
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/solve", s.timed("solve", s.handleSolve))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.timed("jobs", s.handleJobGet))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.timed("jobs", s.handleJobCancel))
+	s.mux.HandleFunc("GET /healthz", s.timed("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.timed("metrics", s.handleMetrics))
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the telemetry sink backing /metrics.
+func (s *Server) Metrics() *telemetry.Memory { return s.mem }
+
+// Registry returns the model registry.
+func (s *Server) ModelRegistry() *Registry { return s.registry }
+
+// Drain stops accepting work, lets queued and running jobs finish, and
+// returns when the worker pool has exited. If ctx expires first, the
+// remaining jobs are cancelled (they finish as cancelled, not dropped)
+// and Drain still waits for the workers before returning ctx.Err().
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // hard-cancel stragglers; workers still drain the queue
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close drains immediately, cancelling all outstanding jobs.
+func (s *Server) Close() {
+	s.baseCancel()
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Drain(expired)
+}
+
+// ---- submission ----
+
+// httpError carries a status code with the message.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// submitOutcome distinguishes how a request was satisfied.
+type submitOutcome int
+
+const (
+	outcomeQueued    submitOutcome = iota // fresh job enqueued
+	outcomeCoalesced                      // attached to an identical in-flight job
+	outcomeCached                         // served from the result cache
+)
+
+// normalize applies defaults and validates the request, returning the
+// instance graph.
+func (s *Server) normalize(req *SolveRequest) (*graph.Graph, *httpError) {
+	if req.Strategy == "" {
+		req.Strategy = StrategyTwoLevel
+	}
+	if req.Optimizer == "" {
+		req.Optimizer = "lbfgsb"
+	}
+	if req.Model == "" {
+		req.Model = "default"
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if optimizerFor(req.Optimizer) == nil {
+		return nil, badRequest("unknown optimizer %q (want lbfgsb, neldermead, slsqp or cobyla)", req.Optimizer)
+	}
+	if req.Nodes < 2 || req.Nodes > s.cfg.MaxNodes {
+		return nil, badRequest("nodes %d out of [2, %d]", req.Nodes, s.cfg.MaxNodes)
+	}
+	if len(req.Edges) == 0 {
+		return nil, badRequest("instance has no edges")
+	}
+	if req.Weights != nil && len(req.Weights) != len(req.Edges) {
+		return nil, badRequest("%d weights for %d edges", len(req.Weights), len(req.Edges))
+	}
+	if req.Depth < 1 || req.Depth > s.cfg.MaxDepth {
+		return nil, badRequest("depth %d out of [1, %d]", req.Depth, s.cfg.MaxDepth)
+	}
+	g := graph.New(req.Nodes)
+	for i, e := range req.Edges {
+		if e[0] < 0 || e[0] >= req.Nodes || e[1] < 0 || e[1] >= req.Nodes {
+			return nil, badRequest("edge %d (%d,%d) out of range for %d nodes", i, e[0], e[1], req.Nodes)
+		}
+		w := 1.0
+		if req.Weights != nil {
+			w = req.Weights[i]
+		}
+		if err := g.AddWeightedEdge(e[0], e[1], w); err != nil {
+			return nil, badRequest("edge %d: %v", i, err)
+		}
+	}
+	switch req.Strategy {
+	case StrategyNaive:
+	case StrategyTwoLevel:
+		if req.Depth < 2 {
+			return nil, badRequest("two-level needs depth >= 2 (use strategy \"naive\" for depth 1)")
+		}
+		pred, ok := s.registry.Get(req.Model)
+		if !ok {
+			return nil, badRequest("unknown model %q (registered: %v)", req.Model, s.registry.Names())
+		}
+		if !hasDepth(pred.TargetDepths(), req.Depth) {
+			return nil, badRequest("model %q not trained for target depth %d (trained: %v)",
+				req.Model, req.Depth, pred.TargetDepths())
+		}
+	default:
+		return nil, badRequest("unknown strategy %q (want %q or %q)", req.Strategy, StrategyNaive, StrategyTwoLevel)
+	}
+	return g, nil
+}
+
+func hasDepth(depths []int, d int) bool {
+	for _, v := range depths {
+		if v == d {
+			return true
+		}
+	}
+	return false
+}
+
+// submit resolves a normalized request to a job: a cache hit returns a
+// finished job, an identical in-flight request is coalesced, otherwise a
+// fresh job is enqueued. A full queue returns 429; a draining server
+// returns 503.
+func (s *Server) submit(req SolveRequest, g *graph.Graph) (*Job, submitOutcome, *httpError) {
+	key := solveKey(g.Fingerprint(), req)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, 0, &httpError{code: http.StatusServiceUnavailable, msg: "server is draining"}
+	}
+	if res, ok := s.cache.Get(key); ok {
+		s.mem.Count("server.cache.hits", 1)
+		job := s.newFinishedJob(key, req, res)
+		s.jobs.add(job)
+		return job, outcomeCached, nil
+	}
+	s.mem.Count("server.cache.misses", 1)
+	if j := s.inflight[key]; j != nil {
+		j.mu.Lock()
+		j.coalesced = true
+		j.mu.Unlock()
+		s.mem.Count("server.jobs.coalesced", 1)
+		return j, outcomeCoalesced, nil
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	job := &Job{
+		ID: s.jobs.nextID(), Key: key, req: req, g: g,
+		ctx: ctx, cancel: cancel, done: make(chan struct{}),
+		state: StateQueued, enqueued: time.Now(),
+	}
+	select {
+	case s.queue <- job:
+	default:
+		cancel()
+		s.mem.Count("server.http.backpressure", 1)
+		return nil, 0, &httpError{code: http.StatusTooManyRequests, msg: "job queue full, retry later"}
+	}
+	s.jobs.add(job)
+	s.inflight[key] = job
+	s.mem.Count("server.jobs.submitted", 1)
+	s.mem.Count("server.queue.depth", 1)
+	// Watch for cancellation while queued: a deadline or explicit cancel
+	// must not wait for a worker slot to take effect.
+	go func() {
+		<-job.ctx.Done()
+		if job.finishFromQueued(StateCancelled, cancelMsg(job.ctx)) {
+			s.afterFinish(job, StateCancelled)
+		}
+	}()
+	return job, outcomeQueued, nil
+}
+
+// newFinishedJob materializes a cache hit as an already-done job record.
+func (s *Server) newFinishedJob(key string, req SolveRequest, res *SolveResult) *Job {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	cancel()
+	now := time.Now()
+	job := &Job{
+		ID: s.jobs.nextID(), Key: key, req: req,
+		ctx: ctx, cancel: cancel, done: make(chan struct{}),
+		state: StateDone, cached: true, result: res,
+		enqueued: now, started: now, finished: now,
+	}
+	close(job.done)
+	return job
+}
+
+// completeJob finishes a job from the worker path and runs the shared
+// bookkeeping exactly once.
+func (s *Server) completeJob(j *Job, state JobState, res *SolveResult, errMsg string) {
+	if j.finish(state, res, errMsg) {
+		s.afterFinish(j, state)
+	}
+}
+
+// afterFinish clears the single-flight slot, feeds the cache, and
+// counts the terminal state. Called exactly once per job.
+func (s *Server) afterFinish(j *Job, state JobState) {
+	s.mu.Lock()
+	if s.inflight[j.Key] == j {
+		delete(s.inflight, j.Key)
+	}
+	s.mu.Unlock()
+	if state == StateDone {
+		j.mu.Lock()
+		res := j.result
+		j.mu.Unlock()
+		s.cache.Add(j.Key, res)
+	}
+	s.mem.Count("server.jobs."+string(state), 1)
+}
+
+// ---- worker pool ----
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.mem.Count("server.queue.depth", -1)
+		s.runJob(job)
+	}
+}
+
+func (s *Server) runJob(job *Job) {
+	if !job.setRunning() {
+		return // cancelled while queued
+	}
+	s.mem.Count("server.jobs.running", 1)
+	end := s.mem.Span("server.job")
+	res, err := s.solveFn(job.ctx, job)
+	end()
+	s.mem.Count("server.jobs.running", -1)
+	s.mem.Observe("server.job_ms", float64(time.Since(job.started).Nanoseconds())/1e6)
+	switch {
+	case err == nil:
+		s.completeJob(job, StateDone, res, "")
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.completeJob(job, StateCancelled, nil, cancelMsg(job.ctx))
+	default:
+		s.completeJob(job, StateFailed, nil, err.Error())
+	}
+}
+
+func cancelMsg(ctx context.Context) string {
+	if err := context.Cause(ctx); err != nil {
+		return err.Error()
+	}
+	return "cancelled"
+}
+
+// runSolve executes one job through the core flows. The recorder is the
+// server sink, so optimizer counters (optimize.fev_total etc.) surface
+// in /metrics — including the fact that a cache hit adds none.
+func (s *Server) runSolve(ctx context.Context, job *Job) (*SolveResult, error) {
+	pb, err := qaoa.NewProblem(job.g)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(job.req.Seed))
+	opt := optimizerFor(job.req.Optimizer)
+	fp := job.g.Fingerprint()
+	switch job.req.Strategy {
+	case StrategyNaive:
+		r, err := core.NaiveRunCtx(ctx, pb, job.req.Depth, opt, rng, s.mem)
+		if err != nil {
+			return nil, err
+		}
+		return &SolveResult{
+			Strategy: StrategyNaive, AR: r.AR,
+			Gamma: r.Params.Gamma, Beta: r.Params.Beta,
+			NFev: r.NFev, Fingerprint: fp,
+		}, nil
+	case StrategyTwoLevel:
+		pred, ok := s.registry.Get(job.req.Model)
+		if !ok {
+			return nil, fmt.Errorf("model %q disappeared from the registry", job.req.Model)
+		}
+		r, err := core.TwoLevelCtx(ctx, pb, job.req.Depth, opt, pred, rng, s.mem)
+		if err != nil {
+			return nil, err
+		}
+		return &SolveResult{
+			Strategy: StrategyTwoLevel, AR: r.AR(),
+			Gamma: r.Level2.Params.Gamma, Beta: r.Level2.Params.Beta,
+			NFev: r.TotalNFev, Level1AR: r.Level1.AR, Fingerprint: fp,
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown strategy %q", job.req.Strategy)
+}
+
+// optimizerFor maps an API optimizer name to a configured instance (the
+// paper's four local optimizers at tolerance 1e-6, as in
+// experiments.Optimizers). Unknown names return nil.
+func optimizerFor(name string) optimize.Optimizer {
+	switch name {
+	case "lbfgsb":
+		return &optimize.LBFGSB{Tol: 1e-6}
+	case "neldermead":
+		return &optimize.NelderMead{Tol: 1e-6}
+	case "slsqp":
+		return &optimize.SLSQP{Tol: 1e-6}
+	case "cobyla":
+		return &optimize.COBYLA{Tol: 1e-6}
+	}
+	return nil
+}
+
+// ---- HTTP handlers ----
+
+// timed wraps a handler with the per-endpoint latency histogram and
+// request counter.
+func (s *Server) timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.mem.Count("server.http.requests", 1)
+		s.mem.Observe("server.http."+route+"_ms", float64(time.Since(start).Nanoseconds())/1e6)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *httpError) {
+	if e.code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, e.code, map[string]string{"error": e.msg})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, badRequest("decoding request: %v", err))
+		return
+	}
+	g, herr := s.normalize(&req)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	job, outcome, herr := s.submit(req, g)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	if req.Wait {
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+			// The submitting client is gone. Only the job's originator
+			// cancels it; coalesced waiters must not abort someone
+			// else's solve, and cached jobs are already finished.
+			if outcome == outcomeQueued {
+				s.mem.Count("server.jobs.client_disconnects", 1)
+				job.Cancel()
+				<-job.Done()
+			}
+		}
+	}
+	code := http.StatusAccepted
+	if job.State().Terminal() {
+		code = http.StatusOK
+	}
+	view := job.View()
+	if outcome == outcomeCoalesced {
+		view.Coalesced = true
+	}
+	writeJSON(w, code, view)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, &httpError{code: http.StatusNotFound, msg: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, &httpError{code: http.StatusNotFound, msg: "no such job"})
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	queued := len(s.queue)
+	s.mu.Unlock()
+	status, code := "ok", http.StatusOK
+	if draining {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":      status,
+		"queue_depth": queued,
+		"workers":     s.cfg.Workers,
+		"models":      s.registry.Names(),
+		"jobs":        s.jobs.len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.mem.WriteJSON(w)
+}
