@@ -605,14 +605,15 @@ func largeBenchProblem(b *testing.B, n int) *qaoa.Problem {
 	return pb
 }
 
-// BenchmarkExpectationLargeN measures one depth-1 expectation at 16, 20
-// and 22 qubits through the streaming kernel — the scaling targets the
-// small-n engine could not reach (a 2^22 cost+index table pair alone
-// would cost 48 MiB).
+// BenchmarkExpectationLargeN measures one depth-1 expectation at 16,
+// 20, 22 and 24 qubits through the streaming kernel — the scaling
+// targets the small-n engine could not reach (a 2^22 cost+index table
+// pair alone would cost 48 MiB). n=26 and n=28 run through qaoabench
+// only, to keep the go-test bench smoke fast.
 func BenchmarkExpectationLargeN(b *testing.B) {
-	for _, n := range []int{16, 20, 22} {
+	for _, n := range []int{16, 20, 22, 24} {
 		n := n
-		b.Run(map[int]string{16: "n16", 20: "n20", 22: "n22"}[n], func(b *testing.B) {
+		b.Run(map[int]string{16: "n16", 20: "n20", 22: "n22", 24: "n24"}[n], func(b *testing.B) {
 			pb := largeBenchProblem(b, n)
 			ev := qaoa.NewEvaluator(pb, 1)
 			x := []float64{0.4, 0.3}

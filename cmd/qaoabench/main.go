@@ -8,10 +8,12 @@
 // wall-clock benchmarks time end-to-end dataset generation and the
 // Table I experiment, reporting objective evaluations per second.
 //
-// The large-register suite (expectation/n16..n22, grad/n20-p3) streams
+// The large-register suite (expectation/n16..n26, grad/n20-p3) streams
 // the cost Hamiltonian from the edge list (no 2^n tables) and is
 // recorded once per -cpu GOMAXPROCS setting, so scaling across worker
-// counts is visible in one file.
+// counts is visible in one file: entries measured above one worker
+// carry speedup_vs_serial and parallel_efficiency columns computed
+// against the matching serial entry.
 //
 //	qaoabench                    # full suite → BENCH_qaoa.json
 //	qaoabench -quick             # skip the wall-clock experiments
@@ -61,14 +63,20 @@ type Entry struct {
 	NGev        int     `json:"ngev,omitempty"`    // analytic gradient evaluations
 	EvalsPerSec float64 `json:"evals_per_sec,omitempty"`
 	FinalF      float64 `json:"final_f,omitempty"` // converged objective (e2e benches)
+	// SpeedupVsSerial and ParallelEfficiency are derived after the
+	// merge for entries measured above one worker, against the entry
+	// with the same name at GOMAXPROCS 1 (speedup = serial ns / this
+	// ns; efficiency = speedup / workers).
+	SpeedupVsSerial    float64 `json:"speedup_vs_serial,omitempty"`
+	ParallelEfficiency float64 `json:"parallel_efficiency,omitempty"`
 }
 
 // Report is the top-level JSON document.
 type Report struct {
-	Package    string  `json:"package"`
-	GoVersion  string  `json:"go_version"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Timestamp  string  `json:"timestamp"`
+	Package    string `json:"package"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Timestamp  string `json:"timestamp"`
 	// History holds the timestamps of prior runs merged into this file,
 	// newest first, capped at maxHistory.
 	History []string `json:"history,omitempty"`
@@ -252,7 +260,7 @@ func main() {
 	prevProcs := runtime.GOMAXPROCS(0)
 	for _, nc := range cpus {
 		runtime.GOMAXPROCS(nc)
-		for _, n := range []int{16, 20, 22} {
+		for _, n := range []int{16, 20, 22, 24, 26} {
 			name := fmt.Sprintf("expectation/n%d", n)
 			if !benchMatch(name) {
 				continue
@@ -295,6 +303,7 @@ func main() {
 	if *out != "-" {
 		rep.merge(*out)
 	}
+	rep.annotateScaling()
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -516,6 +525,33 @@ func (r *Report) merge(path string) {
 	}
 	if kept > 0 {
 		fmt.Fprintf(os.Stderr, "merged %d prior entries from %s\n", kept, path)
+	}
+}
+
+// annotateScaling fills SpeedupVsSerial and ParallelEfficiency on every
+// entry measured above one worker whose name also has a GOMAXPROCS-1
+// entry in the (merged) report. Running after the merge lets a partial
+// -cpu run anchor against serial numbers recorded by an earlier run.
+func (r *Report) annotateScaling() {
+	serial := make(map[string]float64, len(r.Entries))
+	for _, e := range r.Entries {
+		if e.GOMAXPROCS == 1 && e.NsPerOp > 0 {
+			serial[e.Name] = e.NsPerOp
+		}
+	}
+	for i := range r.Entries {
+		e := &r.Entries[i]
+		if e.GOMAXPROCS <= 1 || e.NsPerOp <= 0 {
+			e.SpeedupVsSerial, e.ParallelEfficiency = 0, 0
+			continue
+		}
+		base, ok := serial[e.Name]
+		if !ok {
+			e.SpeedupVsSerial, e.ParallelEfficiency = 0, 0
+			continue
+		}
+		e.SpeedupVsSerial = base / e.NsPerOp
+		e.ParallelEfficiency = e.SpeedupVsSerial / float64(e.GOMAXPROCS)
 	}
 }
 

@@ -58,11 +58,7 @@ func (dp *DiagonalProblem) State(pr Params) *quantum.State {
 	if err := pr.Validate(false); err != nil {
 		panic(err)
 	}
-	k := dp.kernel()
-	s := quantum.NewUniformState(dp.N)
-	factors := make([]complex128, k.factorLen())
-	runKernel(k, s, factors, pr.Gamma, pr.Beta)
-	return s
+	return prepareState(dp.kernel(), pr.Gamma, pr.Beta)
 }
 
 // Expectation returns ⟨C⟩ in the ansatz state. Safe for concurrent use

@@ -2,6 +2,8 @@ package qaoa
 
 import (
 	"fmt"
+
+	"qaoaml/internal/quantum"
 )
 
 // Adjoint-mode (reverse-sweep) analytic differentiation of the QAOA
@@ -57,32 +59,53 @@ func (w *EvalWorkspace) Gradient(x, grad []float64) { w.ValueGrad(x, grad) }
 func (w *EvalWorkspace) valueGrad(gamma, beta, dGamma, dBeta []float64) float64 {
 	k := w.k
 	if w.adj == nil {
-		w.adj = w.state.Clone() // one-time buffer; overwritten below
+		// One-time adjoint buffers and dispatch closures; every later
+		// call reuses them, so warm sweeps allocate nothing.
+		w.adj = w.state.Clone()
+		w.adjRunner = quantum.NewLayerRunner(w.adj)
+		w.seedBody = func(lo, hi int) (float64, float64) {
+			return k.seedChunkValue(w.adj, w.state, lo, hi), 0
+		}
+		w.genBody = func(lo, hi int) (float64, float64) {
+			return k.genInnerChunk(w.adj, w.state, lo, hi)
+		}
+		w.sumXBody = func(lo, hi int) (float64, float64) {
+			return quantum.InnerProductSumXRange(w.adj, w.state, lo, hi)
+		}
+		w.unphaseBoth = func(lo, hi int) {
+			k.applyPhase2Range(w.state, w.adj, w.factors, w.gamma, w.conj, lo, hi)
+		}
 	}
+	dim := w.state.Dim()
 
-	// Forward pass: |ψ⟩ and the value, exactly as expectation().
-	w.state.FillUniform()
-	runKernel(k, w.state, w.factors, gamma, beta)
-	val := k.expectation(w.state)
+	// Forward pass: |ψ⟩, exactly as expectation().
+	w.runLayers(gamma, beta)
 
-	// Seed the adjoint: λ = C|ψ⟩.
-	k.seedAdjoint(w.adj, w.state)
+	// Seed the adjoint and read the value in one fused pass: λ = C|ψ⟩,
+	// val = ⟨C⟩. The per-chunk sums and their merge order match
+	// expectation()'s exactly, so the value stays bit-identical.
+	val, _ := quantum.ReduceChunks(dim, w.seedBody)
 
 	// Reverse sweep: invariantly, entering iteration s the buffers hold
 	// φ = (stages 1..s+1 applied) and λ = (stages s+2..p un-applied from
 	// C|ψ⟩), i.e. exactly φ_{s+1} and λ_{s+1} in the derivation above.
 	for s := len(gamma) - 1; s >= 0; s-- {
-		dBeta[s] = 2 * imag(w.adj.InnerProductSumX(w.state))
+		_, im := quantum.ReduceChunks(dim, w.sumXBody)
+		dBeta[s] = 2 * im
 
-		// Un-apply the mixer from both states: M† = RXAll(−2β).
-		w.state.RXAll(-2 * beta[s])
-		w.adj.RXAll(-2 * beta[s])
+		// Un-apply the mixer from both states: M† = RXAll(−2β), through
+		// the fused layer sweep (no phase, no fill).
+		w.runner.Layer(-2*beta[s], false, nil)
+		w.adjRunner.Layer(-2*beta[s], false, nil)
 
-		dGamma[s] = -2 * imag(k.genInner(w.adj, w.state))
+		_, gim := quantum.ReduceChunks(dim, w.genBody)
+		dGamma[s] = -2 * gim
 
-		// Un-apply the phase separator (conjugated factors).
-		k.applyPhase(w.state, w.factors, gamma[s], true)
-		k.applyPhase(w.adj, w.factors, gamma[s], true)
+		// Un-apply the phase separator from both states (conjugated
+		// factors), generating each chunk's diagonal once.
+		w.k.prepareFactors(w.factors, gamma[s], true)
+		w.gamma, w.conj = gamma[s], true
+		quantum.ForEachChunk(dim, w.unphaseBoth)
 	}
 	return val
 }

@@ -1,0 +1,91 @@
+package qaoa
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"qaoaml/internal/graph"
+)
+
+// The parallel path must not allocate per pass: the persistent worker
+// pool and the workspace-held dispatch closures pin a warm n=20
+// expectation at GOMAXPROCS 8 to at most 4 allocations per call (it was
+// 223 with per-call goroutine fan-out).
+func TestExpectationN20ParallelAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	runtime.GOMAXPROCS(8)
+
+	rng := rand.New(rand.NewSource(60))
+	g := graph.RandomRegular(20, 3, rng)
+	pb := mustProblem(t, g)
+	w := pb.NewWorkspace()
+	x := []float64{0.4, 0.3}
+	w.ExpectationVec(x) // warm buffers, pool workers and scratch
+	allocs := testing.AllocsPerRun(5, func() {
+		w.ExpectationVec(x)
+	})
+	if allocs > 4 {
+		t.Fatalf("warm n=20 expectation allocates %.0f times per run at GOMAXPROCS 8, want <= 4", allocs)
+	}
+
+	// The gradient sweep shares the budget once its buffers exist.
+	grad := make([]float64, len(x))
+	w.ValueGrad(x, grad)
+	allocs = testing.AllocsPerRun(3, func() {
+		w.ValueGrad(x, grad)
+	})
+	if allocs > 4 {
+		t.Fatalf("warm n=20 gradient allocates %.0f times per run at GOMAXPROCS 8, want <= 4", allocs)
+	}
+}
+
+// Cross-GOMAXPROCS bit-identity at n=24: the 2^15-amplitude chunk
+// geometry, the fused layer sweeps and the pool dispatch must agree
+// exactly across 1, 2 and 8 workers on a full-size instance. Skipped
+// under -short (two 256 MiB state buffers, seconds of runtime).
+func TestLargeN24BitIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=24 identity check skipped in short mode")
+	}
+	rng := rand.New(rand.NewSource(124))
+	g := graph.RandomRegular(24, 3, rng)
+	pb := mustProblem(t, g)
+	x := []float64{0.4, 0.3}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	ws := pb.NewWorkspace()
+	grad := make([]float64, len(x))
+	var baseVal, baseGval float64
+	var baseGrad []float64
+	for wi, workers := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(workers)
+		val := ws.ExpectationVec(x)
+		gval := ws.ValueGrad(x, grad)
+		if wi == 0 {
+			baseVal, baseGval = val, gval
+			baseGrad = append([]float64(nil), grad...)
+			if gval != val {
+				t.Errorf("n=24: ValueGrad value %v != Expectation %v", gval, val)
+			}
+			continue
+		}
+		if val != baseVal {
+			t.Errorf("n=24: expectation at GOMAXPROCS=%d %v != 1-worker %v", workers, val, baseVal)
+		}
+		if gval != baseGval {
+			t.Errorf("n=24: gradient value at GOMAXPROCS=%d %v != 1-worker %v", workers, gval, baseGval)
+		}
+		for i := range grad {
+			if grad[i] != baseGrad[i] {
+				t.Errorf("n=24: grad[%d] at GOMAXPROCS=%d %v != 1-worker %v", i, workers, grad[i], baseGrad[i])
+			}
+		}
+	}
+}

@@ -190,11 +190,7 @@ func (pb *Problem) State(pr Params) *quantum.State {
 	if err := pr.Validate(false); err != nil {
 		panic(err)
 	}
-	k := pb.kernel()
-	s := quantum.NewUniformState(pb.NumQubits())
-	factors := make([]complex128, k.factorLen())
-	runKernel(k, s, factors, pr.Gamma, pr.Beta)
-	return s
+	return prepareState(pb.kernel(), pr.Gamma, pr.Beta)
 }
 
 // Expectation returns ⟨ψ(γ, β)|C|ψ(γ, β)⟩, the expected cut size. It is

@@ -14,15 +14,32 @@ import (
 // The materialized diagKernel needs a 2^n float64 cost table plus a 2^n
 // int32 index table — 12 MiB at n = 20, 200 MiB at n = 24 — on top of
 // the state vector itself, just to look up C(z) per amplitude. The
-// streamKernel eliminates both tables: C(z) is recomputed on the fly
-// from the edge list, chunk by chunk over the same fixed reduction
-// geometry every other kernel uses (quantum.ReduceChunkLen amplitudes
-// per chunk). Within a chunk the cut value is computed from scratch at
-// the chunk base — iterating edges in their fixed order — and then
-// updated incrementally as z increments: the flipped bits of z−1 → z
-// are the trailing run (z−1)^z, so on average ~2 vertex flips per step,
-// each costing one pass over that vertex's adjacency list. For a
-// bounded-degree graph the amortized cost per amplitude is O(degree).
+// streamKernel eliminates both tables: C(z) is recomputed on the fly,
+// chunk by chunk over the same fixed geometry every other kernel uses
+// (quantum.ChunkLen amplitudes per chunk).
+//
+// Within a chunk, the low cb = log2(chunk length) bits of z run through
+// all values while the high bits are frozen, so the cut splits into
+// three independent parts:
+//
+//	C(z) = Cll(zl)  +  cross(zl, zh)  +  Chh(zh)
+//
+//   - Cll, the cut over edges with BOTH endpoints below cb, depends
+//     only on the chunk-local bits: it is precomputed ONCE at kernel
+//     construction into a 2^cb table (≤ 256 KiB — chunk-sized, not
+//     state-sized) shared by every chunk.
+//   - Chh, the cut over edges with both endpoints at/above cb, is a
+//     per-chunk constant, computed once per chunk in O(|E|).
+//   - The cross edges (u < cb ≤ v) contribute base + Σ_{u: zl_u=1} d_u,
+//     where base and the per-low-vertex deltas d_u are fixed by the
+//     chunk's high bits. The linear term updates in O(1) per increment
+//     of zl: when zl−1 → zl flips the trailing run up to bit t =
+//     TrailingZeros(zl), the sum changes by d_t − Σ_{u<t} d_u — a
+//     prefix-sum lookup.
+//
+// The old path walked each flipped vertex's adjacency list per step
+// (O(degree) branchy work per amplitude, ~40% of evaluation time at
+// n=20); this one is a table load and two adds per amplitude.
 //
 // Because the per-chunk values depend only on the chunk bounds (which
 // the fixed geometry pins) and the scratch buffers are per-chunk, the
@@ -46,23 +63,33 @@ const StreamingThreshold = 13
 // it (extreme weights) fall back to per-amplitude Sincos streaming.
 const maxStreamFactorTable = 1 << 16
 
+// maxStreamChunkBits bounds the chunk width the kernel's stack arrays
+// are sized for; quantum.LargeReduceChunkLen = 2^15 keeps us below it.
+const maxStreamChunkBits = 16
+
 // streamKernel evaluates the MaxCut phase separator and observable
 // directly from the edge list. It is immutable after construction and
 // safe for concurrent use (scratch comes from a pool).
 type streamKernel struct {
-	n int
-	m float64 // total edge weight
+	n  int
+	m  float64 // total edge weight
+	cb int     // chunk width in bits: log2(min(ChunkLen(2^n), 2^n))
 
-	// Edge list in fixed order, for the from-scratch cut at chunk bases.
-	edges []graph.Edge
-	wF    []float64
-	wInt  []int64 // integer path only
+	// Low-low cut table Cll, indexed by the chunk-local bits of z.
+	// Exactly one of the two is built, per the integer flag.
+	cllInt []int64
+	cllF   []float64
 
-	// CSR adjacency for the incremental per-flip updates.
-	adjStart []int32
-	adjVert  []int32
-	adjWF    []float64
-	adjWInt  []int64 // integer path only
+	// Cross edges (low endpoint u < cb ≤ high endpoint v), CSR by u.
+	crossStart []int32
+	crossVert  []int32
+	crossWF    []float64
+	crossWInt  []int64
+
+	// High-high edges (both endpoints ≥ cb).
+	hhU, hhV []int32
+	hhWF     []float64
+	hhWInt   []int64
 
 	// Integer path: cut values are exact int64 in [cmin, cmin+nfac).
 	integer bool
@@ -74,36 +101,19 @@ type streamKernel struct {
 // is the problem's TotalWeight (kept explicit so the phase convention
 // matches the materialized kernel exactly).
 func newStreamKernel(g *graph.Graph, totalWeight float64) *streamKernel {
+	k := &streamKernel{n: g.N, m: totalWeight}
+	dim := 1 << uint(g.N)
+	clen := quantum.ChunkLen(dim)
+	if clen > dim {
+		clen = dim
+	}
+	k.cb = bits.TrailingZeros(uint(clen))
+
 	edges := g.Edges()
 	weights := g.Weights()
-	k := &streamKernel{n: g.N, m: totalWeight, edges: edges, wF: weights}
-
-	// CSR adjacency: both endpoints see every edge.
-	k.adjStart = make([]int32, g.N+1)
-	for _, e := range edges {
-		k.adjStart[e.U+1]++
-		k.adjStart[e.V+1]++
-	}
-	for v := 1; v <= g.N; v++ {
-		k.adjStart[v] += k.adjStart[v-1]
-	}
-	k.adjVert = make([]int32, 2*len(edges))
-	k.adjWF = make([]float64, 2*len(edges))
-	fill := append([]int32(nil), k.adjStart[:g.N]...)
-	for i, e := range edges {
-		k.adjVert[fill[e.U]] = int32(e.V)
-		k.adjWF[fill[e.U]] = weights[i]
-		fill[e.U]++
-		k.adjVert[fill[e.V]] = int32(e.U)
-		k.adjWF[fill[e.V]] = weights[i]
-		fill[e.V]++
-	}
-
 	if g.IntegerWeighted() {
 		var cmin, cmax int64
-		wInt := make([]int64, len(weights))
-		for i, w := range weights {
-			wInt[i] = int64(w)
+		for _, w := range weights {
 			if w < 0 {
 				cmin += int64(w)
 			} else {
@@ -114,11 +124,88 @@ func newStreamKernel(g *graph.Graph, totalWeight float64) *streamKernel {
 			k.integer = true
 			k.cmin = cmin
 			k.nfac = int(cmax - cmin + 1)
-			k.wInt = wInt
-			k.adjWInt = make([]int64, len(k.adjWF))
-			for i, w := range k.adjWF {
-				k.adjWInt[i] = int64(w)
+		}
+	}
+
+	// Classify edges by where their endpoints fall relative to the
+	// chunk width. Normalize so e.U ≤ e.V per edge.
+	var lowU, lowV []int32
+	var lowW []float64
+	k.crossStart = make([]int32, k.cb+1)
+	for _, e := range edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		switch {
+		case v < k.cb:
+			lowU, lowV = append(lowU, int32(u)), append(lowV, int32(v))
+		case u >= k.cb:
+			k.hhU, k.hhV = append(k.hhU, int32(u)), append(k.hhV, int32(v))
+		default:
+			k.crossStart[u+1]++
+		}
+	}
+	for u := 1; u <= k.cb; u++ {
+		k.crossStart[u] += k.crossStart[u-1]
+	}
+	nCross := int(k.crossStart[k.cb])
+	k.crossVert = make([]int32, nCross)
+	k.crossWF = make([]float64, nCross)
+	k.hhWF = make([]float64, 0, len(k.hhU))
+	fill := append([]int32(nil), k.crossStart[:k.cb]...)
+	li, hh := 0, 0
+	for i, e := range edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		switch {
+		case v < k.cb:
+			lowW = append(lowW, weights[i])
+			li++
+		case u >= k.cb:
+			k.hhWF = append(k.hhWF, weights[i])
+			hh++
+		default:
+			k.crossVert[fill[u]] = int32(v)
+			k.crossWF[fill[u]] = weights[i]
+			fill[u]++
+		}
+	}
+
+	// The one-time low-low table: O(2^cb · |lowE|) construction, 2^cb
+	// entries shared by every chunk thereafter.
+	nLow := 1 << uint(k.cb)
+	if k.integer {
+		k.crossWInt = make([]int64, len(k.crossWF))
+		for i, w := range k.crossWF {
+			k.crossWInt[i] = int64(w)
+		}
+		k.hhWInt = make([]int64, len(k.hhWF))
+		for i, w := range k.hhWF {
+			k.hhWInt[i] = int64(w)
+		}
+		k.cllInt = make([]int64, nLow)
+		for z := range k.cllInt {
+			var c int64
+			for i := range lowU {
+				if (z>>uint(lowU[i]))&1 != (z>>uint(lowV[i]))&1 {
+					c += int64(lowW[i])
+				}
 			}
+			k.cllInt[z] = c
+		}
+	} else {
+		k.cllF = make([]float64, nLow)
+		for z := range k.cllF {
+			c := 0.0
+			for i := range lowU {
+				if (z>>uint(lowU[i]))&1 != (z>>uint(lowV[i]))&1 {
+					c += lowW[i]
+				}
+			}
+			k.cllF[z] = c
 		}
 	}
 	return k
@@ -146,96 +233,106 @@ func (ws *streamScratch) genBuf(n int) []float64 {
 	return ws.gen[:n]
 }
 
-// cutIntAt computes C(z) exactly, iterating edges in fixed order.
-func (k *streamKernel) cutIntAt(z uint64) int64 {
-	var c int64
-	for i, e := range k.edges {
-		if (z>>uint(e.U))&1 != (z>>uint(e.V))&1 {
-			c += k.wInt[i]
+// chunkSetupInt computes the chunk-constant part of the cut for the
+// chunk whose base state is lo — high-high edges plus the cross edges
+// whose high endpoint sits in partition 1 — and the per-low-vertex
+// deltas d (the cross contribution toggled by setting low bit u) with
+// their prefix sums p[u] = Σ_{x<u} d[x].
+func (k *streamKernel) chunkSetupInt(lo uint64, d, p *[maxStreamChunkBits]int64) int64 {
+	var base int64
+	for i, u := range k.hhU {
+		if (lo>>uint(u))&1 != (lo>>uint(k.hhV[i]))&1 {
+			base += k.hhWInt[i]
 		}
 	}
-	return c
-}
-
-// cutFloatAt computes C(z) in float64, iterating edges in fixed order.
-func (k *streamKernel) cutFloatAt(z uint64) float64 {
-	c := 0.0
-	for i, e := range k.edges {
-		if (z>>uint(e.U))&1 != (z>>uint(e.V))&1 {
-			c += k.wF[i]
-		}
-	}
-	return c
-}
-
-// walkInt streams the exact cut values C(z) for z ∈ [lo, hi): from
-// scratch at the chunk base, then incrementally — when z increments,
-// the flipped bits are the trailing run (z−1)^z; flipping vertex b
-// toggles the cut status of each incident edge, adding its weight when
-// the endpoints agreed before the flip and subtracting it when they
-// differed. Flips are processed low bit first on a running assignment,
-// so simultaneous flips (carry chains) compose correctly.
-func (k *streamKernel) walkInt(lo, hi int, emit func(i int, c int64)) {
-	c := k.cutIntAt(uint64(lo))
-	emit(0, c)
-	for z := lo + 1; z < hi; z++ {
-		prev := uint64(z - 1)
-		flipped := prev ^ uint64(z)
-		zcur := prev
-		for flipped != 0 {
-			b := bits.TrailingZeros64(flipped)
-			flipped &= flipped - 1
-			bbit := (zcur >> uint(b)) & 1
-			for e := k.adjStart[b]; e < k.adjStart[b+1]; e++ {
-				if (zcur>>uint(k.adjVert[e]))&1 == bbit {
-					c += k.adjWInt[e]
-				} else {
-					c -= k.adjWInt[e]
-				}
+	var acc int64
+	for u := 0; u < k.cb; u++ {
+		p[u] = acc
+		var du int64
+		for e := k.crossStart[u]; e < k.crossStart[u+1]; e++ {
+			w := k.crossWInt[e]
+			if (lo>>uint(k.crossVert[e]))&1 != 0 {
+				base += w // zh_v = 1: edge cut while zl_u = 0
+				du -= w
+			} else {
+				du += w
 			}
-			zcur ^= 1 << uint(b)
 		}
-		emit(z-lo, c)
+		d[u] = du
+		acc += du
 	}
+	return base
 }
 
-// walkFloat is walkInt with float64 accumulation, for graphs whose
-// weights are not (small-range) integers. Incremental float updates are
-// still deterministic per chunk — the update sequence depends only on
-// the chunk bounds — but accumulate rounding relative to from-scratch
-// sums; the chunk base resets error every ReduceChunkLen amplitudes.
-func (k *streamKernel) walkFloat(lo, hi int, emit func(i int, c float64)) {
-	c := k.cutFloatAt(uint64(lo))
-	emit(0, c)
-	for z := lo + 1; z < hi; z++ {
-		prev := uint64(z - 1)
-		flipped := prev ^ uint64(z)
-		zcur := prev
-		for flipped != 0 {
-			b := bits.TrailingZeros64(flipped)
-			flipped &= flipped - 1
-			bbit := (zcur >> uint(b)) & 1
-			for e := k.adjStart[b]; e < k.adjStart[b+1]; e++ {
-				if (zcur>>uint(k.adjVert[e]))&1 == bbit {
-					c += k.adjWF[e]
-				} else {
-					c -= k.adjWF[e]
-				}
-			}
-			zcur ^= 1 << uint(b)
+// chunkSetupFloat is chunkSetupInt with float64 weights.
+func (k *streamKernel) chunkSetupFloat(lo uint64, d, p *[maxStreamChunkBits]float64) float64 {
+	base := 0.0
+	for i, u := range k.hhU {
+		if (lo>>uint(u))&1 != (lo>>uint(k.hhV[i]))&1 {
+			base += k.hhWF[i]
 		}
-		emit(z-lo, c)
 	}
+	acc := 0.0
+	for u := 0; u < k.cb; u++ {
+		p[u] = acc
+		du := 0.0
+		for e := k.crossStart[u]; e < k.crossStart[u+1]; e++ {
+			w := k.crossWF[e]
+			if (lo>>uint(k.crossVert[e]))&1 != 0 {
+				base += w
+				du -= w
+			} else {
+				du += w
+			}
+		}
+		d[u] = du
+		acc += du
+	}
+	return base
 }
 
 // fillCut writes C(z) for the chunk [lo, hi) into cut (float64 values;
-// exact on the integer path).
+// exact on the integer path). lo is chunk-aligned and hi−lo = 2^cb, so
+// the chunk-local bits of z are exactly the buffer index.
 func (k *streamKernel) fillCut(lo, hi int, cut []float64) {
 	if k.integer {
-		k.walkInt(lo, hi, func(i int, c int64) { cut[i] = float64(c) })
+		var d, p [maxStreamChunkBits]int64
+		base := k.chunkSetupInt(uint64(lo), &d, &p)
+		cll := k.cllInt
+		var lin int64
+		cut[0] = float64(base + cll[0])
+		for i := 1; i < hi-lo; i++ {
+			t := bits.TrailingZeros64(uint64(i))
+			lin += d[t] - p[t]
+			cut[i] = float64(base + cll[i] + lin)
+		}
 		return
 	}
-	k.walkFloat(lo, hi, func(i int, c float64) { cut[i] = c })
+	var d, p [maxStreamChunkBits]float64
+	base := k.chunkSetupFloat(uint64(lo), &d, &p)
+	cll := k.cllF
+	lin := 0.0
+	cut[0] = base + cll[0]
+	for i := 1; i < hi-lo; i++ {
+		t := bits.TrailingZeros64(uint64(i))
+		lin += d[t] - p[t]
+		cut[i] = base + cll[i] + lin
+	}
+}
+
+// fillIdx writes the factor-table index C(z)−cmin for the chunk
+// [lo, hi) into idx. Integer path only.
+func (k *streamKernel) fillIdx(lo, hi int, idx []int32) {
+	var d, p [maxStreamChunkBits]int64
+	base := k.chunkSetupInt(uint64(lo), &d, &p) - k.cmin
+	cll := k.cllInt
+	var lin int64
+	idx[0] = int32(base + cll[0])
+	for i := 1; i < hi-lo; i++ {
+		t := bits.TrailingZeros64(uint64(i))
+		lin += d[t] - p[t]
+		idx[i] = int32(base + cll[i] + lin)
+	}
 }
 
 // fillGen writes the phase generator h(z) = (m − 2C(z))/2 for the chunk
@@ -243,10 +340,28 @@ func (k *streamKernel) fillCut(lo, hi int, cut []float64) {
 // kernel factorizes.
 func (k *streamKernel) fillGen(lo, hi int, gen []float64) {
 	if k.integer {
-		k.walkInt(lo, hi, func(i int, c int64) { gen[i] = (k.m - 2*float64(c)) / 2 })
+		var d, p [maxStreamChunkBits]int64
+		base := k.chunkSetupInt(uint64(lo), &d, &p)
+		cll := k.cllInt
+		var lin int64
+		gen[0] = (k.m - 2*float64(base+cll[0])) / 2
+		for i := 1; i < hi-lo; i++ {
+			t := bits.TrailingZeros64(uint64(i))
+			lin += d[t] - p[t]
+			gen[i] = (k.m - 2*float64(base+cll[i]+lin)) / 2
+		}
 		return
 	}
-	k.walkFloat(lo, hi, func(i int, c float64) { gen[i] = (k.m - 2*c) / 2 })
+	var d, p [maxStreamChunkBits]float64
+	base := k.chunkSetupFloat(uint64(lo), &d, &p)
+	cll := k.cllF
+	lin := 0.0
+	gen[0] = (k.m - 2*(base+cll[0])) / 2
+	for i := 1; i < hi-lo; i++ {
+		t := bits.TrailingZeros64(uint64(i))
+		lin += d[t] - p[t]
+		gen[i] = (k.m - 2*(base+cll[i]+lin)) / 2
+	}
 }
 
 // --- costKernel implementation ---
@@ -255,76 +370,86 @@ func (k *streamKernel) qubits() int { return k.n }
 
 func (k *streamKernel) factorLen() int { return k.nfac }
 
-// applyPhase applies exp(iγ(m−2C)/2) per amplitude (conj un-applies).
-// Integer path: one factor per possible cut value, computed with the
-// exact arithmetic diagKernel uses for the same distinct values, then
-// indexed per chunk. Float path: per-amplitude Sincos on the streamed
-// generator.
-func (k *streamKernel) applyPhase(st *quantum.State, factors []complex128, gamma float64, conj bool) {
-	dim := st.Dim()
-	if k.integer {
-		sign := 1.0
-		if conj {
-			sign = -1
-		}
-		for j := range factors {
-			h := (k.m - 2*float64(k.cmin+int64(j))) / 2
-			sin, cos := math.Sincos(gamma * h)
-			factors[j] = complex(cos, sign*sin)
-		}
-		quantum.ForEachChunk(dim, func(lo, hi int) {
-			ws := streamScratchPool.Get().(*streamScratch)
-			idx := ws.idxBuf(hi - lo)
-			k.walkInt(lo, hi, func(i int, c int64) { idx[i] = int32(c - k.cmin) })
-			st.MulDiagonalIndexedRange(lo, idx, factors)
-			streamScratchPool.Put(ws)
-		})
+// prepareFactors fills the per-distinct-cut phase factor table
+// exp(iγ(m−2c)/2) with the exact arithmetic diagKernel uses for the
+// same distinct values. The float path has no finite distinct set and
+// streams phases per amplitude instead.
+func (k *streamKernel) prepareFactors(factors []complex128, gamma float64, conj bool) {
+	if !k.integer {
 		return
 	}
-	scale := gamma
+	sign := 1.0
 	if conj {
-		scale = -gamma
+		sign = -1
 	}
-	quantum.ForEachChunk(dim, func(lo, hi int) {
-		ws := streamScratchPool.Get().(*streamScratch)
+	for j := range factors {
+		h := (k.m - 2*float64(k.cmin+int64(j))) / 2
+		sin, cos := math.Sincos(gamma * h)
+		factors[j] = complex(cos, sign*sin)
+	}
+}
+
+func (k *streamKernel) applyPhaseRange(st *quantum.State, factors []complex128, gamma float64, conj bool, lo, hi int) {
+	ws := streamScratchPool.Get().(*streamScratch)
+	if k.integer {
+		idx := ws.idxBuf(hi - lo)
+		k.fillIdx(lo, hi, idx)
+		st.MulDiagonalIndexedRange(lo, idx, factors)
+	} else {
+		scale := gamma
+		if conj {
+			scale = -gamma
+		}
 		gen := ws.genBuf(hi - lo)
 		k.fillGen(lo, hi, gen)
 		st.MulPhaseGenRange(lo, gen, scale)
-		streamScratchPool.Put(ws)
-	})
+	}
+	streamScratchPool.Put(ws)
 }
 
-func (k *streamKernel) expectation(st *quantum.State) float64 {
-	e, _ := quantum.ReduceChunks(st.Dim(), func(lo, hi int) (float64, float64) {
-		ws := streamScratchPool.Get().(*streamScratch)
-		cut := ws.genBuf(hi - lo)
-		k.fillCut(lo, hi, cut)
-		e := st.ExpectationDiagonalRange(lo, cut)
-		streamScratchPool.Put(ws)
-		return e, 0
-	})
+func (k *streamKernel) applyPhase2Range(a, b *quantum.State, factors []complex128, gamma float64, conj bool, lo, hi int) {
+	ws := streamScratchPool.Get().(*streamScratch)
+	if k.integer {
+		idx := ws.idxBuf(hi - lo)
+		k.fillIdx(lo, hi, idx)
+		a.MulDiagonalIndexedRange(lo, idx, factors)
+		b.MulDiagonalIndexedRange(lo, idx, factors)
+	} else {
+		scale := gamma
+		if conj {
+			scale = -gamma
+		}
+		gen := ws.genBuf(hi - lo)
+		k.fillGen(lo, hi, gen)
+		a.MulPhaseGenRange(lo, gen, scale)
+		b.MulPhaseGenRange(lo, gen, scale)
+	}
+	streamScratchPool.Put(ws)
+}
+
+func (k *streamKernel) expectChunk(st *quantum.State, lo, hi int) float64 {
+	ws := streamScratchPool.Get().(*streamScratch)
+	cut := ws.genBuf(hi - lo)
+	k.fillCut(lo, hi, cut)
+	e := st.ExpectationDiagonalRange(lo, cut)
+	streamScratchPool.Put(ws)
 	return e
 }
 
-func (k *streamKernel) seedAdjoint(adj, st *quantum.State) {
-	adj.CopyFrom(st)
-	quantum.ForEachChunk(adj.Dim(), func(lo, hi int) {
-		ws := streamScratchPool.Get().(*streamScratch)
-		cut := ws.genBuf(hi - lo)
-		k.fillCut(lo, hi, cut)
-		adj.MulDiagonalRealRange(lo, cut)
-		streamScratchPool.Put(ws)
-	})
+func (k *streamKernel) seedChunkValue(adj, st *quantum.State, lo, hi int) float64 {
+	ws := streamScratchPool.Get().(*streamScratch)
+	cut := ws.genBuf(hi - lo)
+	k.fillCut(lo, hi, cut)
+	e := adj.SeedDiagonalRange(st, lo, cut)
+	streamScratchPool.Put(ws)
+	return e
 }
 
-func (k *streamKernel) genInner(adj, st *quantum.State) complex128 {
-	re, im := quantum.ReduceChunks(st.Dim(), func(lo, hi int) (float64, float64) {
-		ws := streamScratchPool.Get().(*streamScratch)
-		gen := ws.genBuf(hi - lo)
-		k.fillGen(lo, hi, gen)
-		re, im := adj.InnerProductDiagonalRange(st, lo, gen)
-		streamScratchPool.Put(ws)
-		return re, im
-	})
-	return complex(re, im)
+func (k *streamKernel) genInnerChunk(adj, st *quantum.State, lo, hi int) (re, im float64) {
+	ws := streamScratchPool.Get().(*streamScratch)
+	gen := ws.genBuf(hi - lo)
+	k.fillGen(lo, hi, gen)
+	re, im = adj.InnerProductDiagonalRange(st, lo, gen)
+	streamScratchPool.Put(ws)
+	return re, im
 }

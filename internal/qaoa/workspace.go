@@ -18,11 +18,16 @@ import (
 //     distinct cut sizes against 256 amplitudes). The engine computes
 //     e^{iγ·φ} once per *distinct* value with math.Sincos and applies
 //     them through a precomputed index table.
-//   - The mixing layer RX(2β) on every qubit runs through the fused
-//     quantum.RXAll kernel (one pass per qubit pair).
-//   - All buffers (state vector, factor table) live in an EvalWorkspace
-//     that is reused across objective calls, so a warm NegExpectation
-//     performs no heap allocation at all.
+//   - A whole QAOA stage — uniform fill, phase separator, RX(2β)
+//     mixing layer — runs through one fused quantum.LayerRunner sweep:
+//     each cache-resident chunk is filled, phased, and mixed (for every
+//     in-chunk qubit pair) back-to-back, so the state vector streams
+//     from memory once per stage instead of once per pass. The kernels
+//     are bandwidth-bound at large n, so pass-count is the lever.
+//   - All buffers (state vector, factor table) and the dispatch
+//     closures live in an EvalWorkspace that is reused across objective
+//     calls, so a warm NegExpectation performs no heap allocation at
+//     all.
 //
 // The results match the explicit gate-level circuit (BuildCircuit +
 // Simulate) to rounding error, global phase included.
@@ -41,22 +46,40 @@ import (
 // Both produce results over the same fixed reduction geometry
 // (quantum.ReduceChunks), so expectations and gradients are
 // bit-reproducible across GOMAXPROCS settings.
+// The interface is range-based: the workspace drives the chunk loop
+// (through quantum.LayerRunner, ReduceChunks and ForEachChunk over the
+// fixed geometry) and the kernel supplies per-chunk bodies. That lets
+// the phase separator run inside the fused layer sweep while the chunk
+// is cache-resident, and lets reductions fuse with streamed diagonal
+// generation.
 type costKernel interface {
 	// qubits returns the register width.
 	qubits() int
 	// factorLen returns the length of the per-workspace factor scratch
 	// the kernel wants (0 if it needs none).
 	factorLen() int
-	// applyPhase applies the phase separator with stage angle gamma to
-	// st (conj un-applies it), using factors as scratch of factorLen().
-	applyPhase(st *quantum.State, factors []complex128, gamma float64, conj bool)
-	// expectation returns ⟨st|C|st⟩.
-	expectation(st *quantum.State) float64
-	// seedAdjoint overwrites adj with C|st⟩.
-	seedAdjoint(adj, st *quantum.State)
-	// genInner returns ⟨adj|H_γ|st⟩, the phase-generator matrix element
-	// of the adjoint sweep.
-	genInner(adj, st *quantum.State) complex128
+	// prepareFactors fills the factor scratch for stage angle gamma
+	// (conjugated to un-apply). Called once per stage, before the
+	// chunked phase application.
+	prepareFactors(factors []complex128, gamma float64, conj bool)
+	// applyPhaseRange applies the phase separator to st over one chunk.
+	// gamma and conj repeat the prepareFactors arguments for kernels
+	// that stream phases without a factor table.
+	applyPhaseRange(st *quantum.State, factors []complex128, gamma float64, conj bool, lo, hi int)
+	// applyPhase2Range applies the phase separator to two states over
+	// one chunk, generating the chunk's diagonal once. The adjoint
+	// reverse sweep un-applies each stage from both states.
+	applyPhase2Range(a, b *quantum.State, factors []complex128, gamma float64, conj bool, lo, hi int)
+	// expectChunk returns one chunk's contribution to ⟨st|C|st⟩.
+	expectChunk(st *quantum.State, lo, hi int) float64
+	// seedChunkValue overwrites adj's chunk with (C|st⟩)'s and returns
+	// the chunk's contribution to ⟨st|C|st⟩, with the exact summation
+	// order of expectChunk — so a fused value+seed pass stays
+	// bit-identical to a plain expectation.
+	seedChunkValue(adj, st *quantum.State, lo, hi int) float64
+	// genInnerChunk returns one chunk's contribution to ⟨adj|H_γ|st⟩ in
+	// split real/imag form.
+	genInnerChunk(adj, st *quantum.State, lo, hi int) (re, im float64)
 }
 
 // diagKernel is the immutable per-problem precomputation: the cost
@@ -131,15 +154,14 @@ func (dp *DiagonalProblem) kernel() *diagKernel {
 	return dp.kern
 }
 
-// qubits, factorLen, applyPhase, expectation, seedAdjoint and genInner
-// implement costKernel for the materialized-table path. applyPhase and
-// the adjoint matrix elements run exactly the operations the
-// pre-interface engine ran, so small-n results are byte-for-byte
-// unchanged.
+// costKernel implementation for the materialized-table path. The
+// per-chunk bodies run exactly the per-element operations the
+// pre-interface engine ran (same tables, same summation order within
+// and across chunks), so results are byte-for-byte unchanged.
 func (k *diagKernel) qubits() int    { return k.n }
 func (k *diagKernel) factorLen() int { return len(k.halfAngles) }
 
-func (k *diagKernel) applyPhase(st *quantum.State, factors []complex128, gamma float64, conj bool) {
+func (k *diagKernel) prepareFactors(factors []complex128, gamma float64, conj bool) {
 	sign := 1.0
 	if conj {
 		sign = -1
@@ -148,35 +170,59 @@ func (k *diagKernel) applyPhase(st *quantum.State, factors []complex128, gamma f
 		sin, cos := math.Sincos(gamma * h)
 		factors[j] = complex(cos, sign*sin)
 	}
-	st.MulDiagonalIndexed(k.idx, factors)
 }
 
-func (k *diagKernel) expectation(st *quantum.State) float64 {
-	return st.ExpectationDiagonal(k.diag)
+func (k *diagKernel) applyPhaseRange(st *quantum.State, factors []complex128, _ float64, _ bool, lo, hi int) {
+	st.MulDiagonalIndexedRange(lo, k.idx[lo:hi], factors)
 }
 
-func (k *diagKernel) seedAdjoint(adj, st *quantum.State) {
-	adj.CopyFrom(st)
-	adj.MulDiagonalReal(k.diag)
+func (k *diagKernel) applyPhase2Range(a, b *quantum.State, factors []complex128, _ float64, _ bool, lo, hi int) {
+	a.MulDiagonalIndexedRange(lo, k.idx[lo:hi], factors)
+	b.MulDiagonalIndexedRange(lo, k.idx[lo:hi], factors)
 }
 
-func (k *diagKernel) genInner(adj, st *quantum.State) complex128 {
-	return adj.InnerProductDiagonal(st, k.gen)
+func (k *diagKernel) expectChunk(st *quantum.State, lo, hi int) float64 {
+	return st.ExpectationDiagonalRange(lo, k.diag[lo:hi])
+}
+
+func (k *diagKernel) seedChunkValue(adj, st *quantum.State, lo, hi int) float64 {
+	return adj.SeedDiagonalRange(st, lo, k.diag[lo:hi])
+}
+
+func (k *diagKernel) genInnerChunk(adj, st *quantum.State, lo, hi int) (re, im float64) {
+	return adj.InnerProductDiagonalRange(st, lo, k.gen[lo:hi])
 }
 
 // EvalWorkspace owns the preallocated buffers one evaluation stream
-// needs: the state vector and the distinct-phase factor table. A
+// needs: the state vector, the distinct-phase factor table, the fused
+// layer runner and the per-chunk dispatch closures (created once here,
+// so warm evaluations construct no closures and allocate nothing). A
 // workspace is not safe for concurrent use; create one per goroutine
 // (BatchEvaluator does exactly that).
 type EvalWorkspace struct {
 	k       costKernel
 	state   *quantum.State
 	factors []complex128
+	runner  *quantum.LayerRunner
 
-	// Adjoint-sweep buffer (gradient.go), allocated on first ValueGrad
-	// call so plain expectation streams never pay for it. Warm gradient
-	// calls are allocation-free.
-	adj *quantum.State
+	// Stage parameters for the phase closures, written between
+	// dispatches (the pool's channel send orders them before any worker
+	// reads).
+	gamma float64
+	conj  bool
+
+	phaseState func(lo, hi int)
+	expectBody func(lo, hi int) (a, b float64)
+
+	// Adjoint-sweep buffers and closures (gradient.go), allocated on
+	// first ValueGrad call so plain expectation streams never pay for
+	// them. Warm gradient calls are allocation-free.
+	adj         *quantum.State
+	adjRunner   *quantum.LayerRunner
+	unphaseBoth func(lo, hi int)
+	seedBody    func(lo, hi int) (a, b float64)
+	genBody     func(lo, hi int) (a, b float64)
+	sumXBody    func(lo, hi int) (a, b float64)
 }
 
 // NewWorkspace returns a reusable evaluation workspace for the problem.
@@ -190,28 +236,50 @@ func (dp *DiagonalProblem) NewWorkspace() *EvalWorkspace {
 }
 
 func newWorkspace(k costKernel) *EvalWorkspace {
-	return &EvalWorkspace{
+	w := &EvalWorkspace{
 		k:       k,
 		state:   quantum.NewUniformState(k.qubits()),
 		factors: make([]complex128, k.factorLen()),
 	}
+	w.runner = quantum.NewLayerRunner(w.state)
+	w.phaseState = func(lo, hi int) {
+		k.applyPhaseRange(w.state, w.factors, w.gamma, w.conj, lo, hi)
+	}
+	w.expectBody = func(lo, hi int) (float64, float64) {
+		return k.expectChunk(w.state, lo, hi), 0
+	}
+	return w
 }
 
-// runKernel prepares |ψ(γ,β)⟩ in the given state using the kernel's
-// fused layers. The state must already hold the initial layer (uniform
-// superposition for the standard ansatz).
-func runKernel(k costKernel, st *quantum.State, factors []complex128, gamma, beta []float64) {
-	for s := range gamma {
-		k.applyPhase(st, factors, gamma[s], false)
-		st.RXAll(2 * beta[s])
+// runLayers prepares |ψ(γ,β)⟩ in the workspace state: per stage, one
+// fused layer sweep applies the uniform fill (first stage), the phase
+// separator and the RX(2β) mixer.
+func (w *EvalWorkspace) runLayers(gamma, beta []float64) {
+	if len(gamma) == 0 {
+		w.state.FillUniform()
+		return
 	}
+	for s := range gamma {
+		w.k.prepareFactors(w.factors, gamma[s], false)
+		w.gamma, w.conj = gamma[s], false
+		w.runner.Layer(2*beta[s], s == 0, w.phaseState)
+	}
+}
+
+// prepareState builds a fresh |ψ(γ,β)⟩ with the fused layer kernels.
+// It backs the one-shot State helpers, which are not hot paths, so the
+// transient workspace is fine.
+func prepareState(k costKernel, gamma, beta []float64) *quantum.State {
+	w := newWorkspace(k)
+	w.runLayers(gamma, beta)
+	return w.state
 }
 
 // expectation evaluates ⟨C⟩ at (γ, β), reusing the workspace buffers.
 func (w *EvalWorkspace) expectation(gamma, beta []float64) float64 {
-	w.state.FillUniform()
-	runKernel(w.k, w.state, w.factors, gamma, beta)
-	return w.k.expectation(w.state)
+	w.runLayers(gamma, beta)
+	e, _ := quantum.ReduceChunks(w.state.Dim(), w.expectBody)
+	return e
 }
 
 // Expectation returns ⟨ψ(γ,β)|C|ψ(γ,β)⟩ without heap allocation.

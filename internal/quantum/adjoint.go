@@ -3,7 +3,6 @@ package quantum
 import (
 	"fmt"
 	"math"
-	"runtime"
 )
 
 // This file holds the kernels adjoint-mode (reverse-sweep) analytic
@@ -29,8 +28,8 @@ func (s *State) CopyFrom(t *State) {
 	if s.n != t.n {
 		panic(fmt.Sprintf("quantum: CopyFrom width mismatch %d != %d", s.n, t.n))
 	}
-	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
-		parallelChunks(len(s.amps), func(lo, hi int) {
+	if s.parallel() {
+		runRange(len(s.amps), true, func(lo, hi int) {
 			copy(s.amps[lo:hi], t.amps[lo:hi])
 		})
 		return
@@ -46,8 +45,8 @@ func (s *State) MulDiagonalReal(diag []float64) {
 	if len(diag) != len(s.amps) {
 		panic(fmt.Sprintf("quantum: diagonal length %d != dim %d", len(diag), len(s.amps)))
 	}
-	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
-		parallelChunks(len(s.amps), func(lo, hi int) {
+	if s.parallel() {
+		runRange(len(s.amps), true, func(lo, hi int) {
 			s.MulDiagonalRealRange(lo, diag[lo:hi])
 		})
 		return
@@ -108,6 +107,24 @@ func (s *State) InnerProductDiagonal(t *State, diag []float64) complex128 {
 	return complex(re, im)
 }
 
+// SeedDiagonalRange overwrites s's amplitudes over [lo, lo+len(diag))
+// with diag[i]·src[lo+i] — one chunk of the adjoint seed λ = C|ψ⟩ —
+// and returns that chunk's contribution to ⟨src|C|src⟩, accumulated in
+// exactly the order ExpectationDiagonalRange uses. Fusing the seed with
+// the value readout lets gradient sweeps stream the forward state once
+// where CopyFrom + MulDiagonalReal + ExpectationDiagonal streamed it
+// three times.
+func (s *State) SeedDiagonalRange(src *State, lo int, diag []float64) float64 {
+	s.checkRange(lo, len(diag))
+	e := 0.0
+	for i, d := range diag {
+		a := src.amps[lo+i]
+		e += (real(a)*real(a) + imag(a)*imag(a)) * d
+		s.amps[lo+i] = a * complex(d, 0)
+	}
+	return e
+}
+
 // InnerProductDiagonalRange returns one chunk's contribution to
 // ⟨s|D|t⟩: Σ_i conj(s_{lo+i})·diag[i]·t_{lo+i}, accumulated in split
 // real/imag form. Streaming cost kernels call it with per-chunk
@@ -148,6 +165,17 @@ func (s *State) InnerProductSumX(t *State) complex128 {
 		return sumXPartial(s.amps, t.amps, lo, hi, s.n)
 	})
 	return complex(re, im)
+}
+
+// InnerProductSumXRange returns one chunk's contribution to
+// ⟨s|Σ_q X_q|t⟩ in split real/imag form — the streamed form of
+// InnerProductSumX for callers that drive the chunk loop themselves
+// (fused gradient sweeps). lo must be chunk-aligned; see sumXPartial.
+func InnerProductSumXRange(s, t *State, lo, hi int) (re, im float64) {
+	if s.n != t.n {
+		panic("quantum: qubit count mismatch in InnerProductSumXRange")
+	}
+	return sumXPartial(s.amps, t.amps, lo, hi, s.n)
 }
 
 // sumXPartial accumulates the Σ_q X_q matrix-element terms whose

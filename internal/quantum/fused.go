@@ -1,0 +1,146 @@
+package quantum
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Fused QAOA layer kernels.
+//
+// A QAOA stage used to make separate full passes over the state vector:
+// one for the diagonal phase separator, then one per fused qubit pair
+// for the RX mixer (n/2 passes), plus an initial fill. At n ≥ 20 every
+// one of those passes streams 16+ MiB through memory, and the kernels
+// are bandwidth-bound — so pass-count, not thread-count, is the lever.
+//
+// The LayerRunner collapses a whole stage into:
+//
+//   - ONE cache-blocked low sweep: per fixed-geometry chunk (ChunkLen
+//     elements, resident in L2), the optional uniform fill, the phase
+//     separator, and every mixer pair whose qubits lie inside the chunk
+//     are applied back-to-back while the chunk is hot. For a 2^15
+//     chunk that covers qubit pairs (0,1)…(12,13) — all but the top few
+//     qubits of even a 28-qubit register.
+//   - One full pass per remaining cross-chunk pair (at most ⌈(n−cb)/2⌉
+//     passes), in ascending qubit order, plus the odd final qubit.
+//
+// Bit-identity: each amplitude goes through exactly the same arithmetic
+// operations in the same algebraic order as FillUniform + phase +
+// RXAll — the butterflies of distinct pairs touch disjoint index sets,
+// so interleaving them per chunk instead of per pass cannot change any
+// intermediate value. The chunk geometry is the fixed ChunkLen(dim)
+// layout, so results are also identical at every GOMAXPROCS.
+
+// LayerRunner applies fused QAOA layers (phase separator + RX mixer) to
+// one state. It holds the persistent closures the worker pool dispatch
+// needs, so warm Layer calls allocate nothing. A runner is bound to its
+// state and is not safe for concurrent use.
+type LayerRunner struct {
+	s   *State
+	amp complex128 // uniform-fill amplitude 1/√dim
+
+	// Per-Layer parameters, written before dispatch, read-only during.
+	phase      func(lo, hi int)
+	fill       bool
+	cc, cm, mm complex128 // fused pair coefficients
+	c, ms      complex128 // single-qubit RX coefficients
+	pairQ      int        // current cross-chunk pair
+
+	lowBody  func(lo, hi int)
+	pairBody func(rlo, rhi int)
+	oneBody  func(rlo, rhi int)
+}
+
+// NewLayerRunner returns a runner bound to s.
+func NewLayerRunner(s *State) *LayerRunner {
+	r := &LayerRunner{s: s, amp: complex(1/math.Sqrt(float64(len(s.amps))), 0)}
+	r.lowBody = r.runLow
+	r.pairBody = func(rlo, rhi int) {
+		r.s.rxPairRange(r.pairQ, rlo, rhi, r.cc, r.cm, r.mm)
+	}
+	r.oneBody = func(rlo, rhi int) {
+		bit := 1 << uint(r.s.n-1)
+		r.s.apply1QRange(bit, rlo, rhi, r.c, r.ms, r.ms, r.c)
+	}
+	return r
+}
+
+// Layer applies one fused QAOA stage to the state: an optional uniform
+// refill, the caller's phase separator (called per fixed-geometry
+// chunk; nil to skip), and RX(theta) on every qubit. The amplitudes are
+// bit-identical to FillUniform() + phase over the same chunk ranges +
+// RXAll(theta).
+func (r *LayerRunner) Layer(theta float64, fill bool, phase func(lo, hi int)) {
+	s := r.s
+	sin, cos := math.Sincos(theta / 2)
+	r.c = complex(cos, 0)
+	r.ms = complex(0, -sin)
+	r.cc = r.c * r.c
+	r.cm = r.c * r.ms
+	r.mm = r.ms * r.ms
+	r.phase = phase
+	r.fill = fill
+
+	dim := len(s.amps)
+	clen := ChunkLen(dim)
+	if clen > dim {
+		clen = dim
+	}
+	nc := dim / clen
+	par := s.parallel()
+
+	// Low sweep: fill + phase + all in-chunk pairs while each chunk is
+	// cache-resident.
+	switch {
+	case nc == 1:
+		r.runLow(0, dim)
+	case !par:
+		for c := 0; c < nc; c++ {
+			r.runLow(c*clen, (c+1)*clen)
+		}
+	default:
+		dispatchChunks(nc, clen, r.lowBody)
+	}
+
+	// Cross-chunk pairs in ascending qubit order, then the odd final
+	// qubit. With a single chunk everything was in-chunk already.
+	cb := bits.TrailingZeros(uint(clen))
+	q := cb - 1
+	if q%2 != 0 {
+		q = cb
+	}
+	for ; q+1 < s.n; q += 2 {
+		r.pairQ = q
+		runRange(dim>>2, par, r.pairBody)
+	}
+	if s.n%2 == 1 && nc > 1 {
+		runRange(dim>>1, par, r.oneBody)
+	}
+}
+
+// runLow processes one chunk of the low sweep: fill, phase, every mixer
+// pair both of whose qubits address bits inside the chunk, and — when
+// the chunk spans the whole register — the odd final qubit. Chunk
+// bounds are ChunkLen-aligned, so the representative ranges [lo>>2,
+// hi>>2) and [lo>>1, hi>>1) map exactly onto the chunk's butterflies.
+func (r *LayerRunner) runLow(lo, hi int) {
+	s := r.s
+	if r.fill {
+		amps := s.amps[lo:hi]
+		for i := range amps {
+			amps[i] = r.amp
+		}
+	}
+	if r.phase != nil {
+		r.phase(lo, hi)
+	}
+	span := hi - lo
+	q := 0
+	for ; q+1 < s.n && 1<<uint(q+1) < span; q += 2 {
+		s.rxPairRange(q, lo>>2, hi>>2, r.cc, r.cm, r.mm)
+	}
+	if q == s.n-1 && 1<<uint(q) < span {
+		// Single-chunk register with odd n: the final qubit is in-chunk.
+		s.apply1QRange(1<<uint(q), lo>>1, hi>>1, r.c, r.ms, r.ms, r.c)
+	}
+}

@@ -1,0 +1,76 @@
+package quantum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The fused layer sweep must reproduce the unfused kernel sequence —
+// fill, per-chunk phase, RXAll — EXACTLY, bit for bit: it reorders
+// disjoint butterflies across chunks but never changes any amplitude's
+// operation sequence. Covered shapes: single-chunk (n=10), serial
+// multi-chunk (n=14), parallel even (n=16), parallel odd n (n=17,
+// cross-chunk final qubit).
+func TestLayerRunnerMatchesUnfusedKernels(t *testing.T) {
+	const theta = 0.8342
+	for _, n := range []int{10, 14, 16, 17} {
+		dim := 1 << n
+		rng := rand.New(rand.NewSource(int64(200 + n)))
+		phases := make([]float64, dim)
+		for i := range phases {
+			phases[i] = rng.NormFloat64()
+		}
+		for _, fill := range []bool{false, true} {
+			src := randomParallelState(n, int64(300+n))
+
+			want := src.Clone()
+			if fill {
+				want.FillUniform()
+			}
+			applyPhaseRange(want.amps, phases)
+			want.RXAll(theta)
+
+			got := src.Clone()
+			r := NewLayerRunner(got)
+			r.Layer(theta, fill, func(lo, hi int) {
+				applyPhaseRange(got.amps[lo:hi], phases[lo:hi])
+			})
+			ampsEqualExact(t, "LayerRunner", want, got, 0)
+
+			// Mixer-only form (nil phase), as the gradient reverse sweep
+			// uses it.
+			wantMix := src.Clone()
+			wantMix.RXAll(-theta)
+			gotMix := src.Clone()
+			NewLayerRunner(gotMix).Layer(-theta, false, nil)
+			ampsEqualExact(t, "LayerRunner-mix", wantMix, gotMix, 0)
+		}
+	}
+}
+
+// Cross-GOMAXPROCS bit-identity for the fused layer kernels, in the
+// style of the gate-kernel suite.
+func TestLayerRunnerBitIdenticalAcrossWorkers(t *testing.T) {
+	for _, n := range []int{16, 17} {
+		n := n
+		dim := 1 << n
+		rng := rand.New(rand.NewSource(int64(400 + n)))
+		phases := make([]float64, dim)
+		for i := range phases {
+			phases[i] = rng.NormFloat64()
+		}
+		withWorkers(t, identityWorkers,
+			func() any {
+				s := randomParallelState(n, int64(500+n))
+				r := NewLayerRunner(s)
+				r.Layer(0.613, true, func(lo, hi int) {
+					applyPhaseRange(s.amps[lo:hi], phases[lo:hi])
+				})
+				r.Layer(-1.234, false, nil)
+				return s
+			},
+			func(t *testing.T, baseline, got any, w int) {
+				ampsEqualExact(t, "LayerRunner", baseline.(*State), got.(*State), w)
+			})
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 )
 
 // This file holds the fused, allocation-free kernels the QAOA hot path
@@ -30,8 +29,8 @@ func NewUniformState(n int) *State {
 // workspaces between objective calls.
 func (s *State) FillUniform() {
 	amp := complex(1/math.Sqrt(float64(len(s.amps))), 0)
-	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
-		parallelChunks(len(s.amps), func(lo, hi int) {
+	if s.parallel() {
+		runRange(len(s.amps), true, func(lo, hi int) {
 			amps := s.amps[lo:hi]
 			for i := range amps {
 				amps[i] = amp
@@ -42,6 +41,13 @@ func (s *State) FillUniform() {
 	for i := range s.amps {
 		s.amps[i] = amp
 	}
+}
+
+// parallel reports whether element-wise kernels on this state should
+// fan out across the worker pool. Parallel and serial passes are
+// bit-identical; this only gates scheduling.
+func (s *State) parallel() bool {
+	return len(s.amps) >= ParallelDim && runtime.GOMAXPROCS(0) > 1
 }
 
 // RXAll applies RX(θ) to every qubit — the QAOA mixing layer
@@ -70,14 +76,13 @@ func (s *State) rxPair(q int, c, ms complex128) {
 	cc := c * c
 	cm := c * ms
 	mm := ms * ms
-	reps := len(s.amps) >> 2
-	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
-		parallelChunks(reps, func(lo, hi int) {
+	if s.parallel() {
+		runRange(len(s.amps)>>2, true, func(lo, hi int) {
 			s.rxPairRange(q, lo, hi, cc, cm, mm)
 		})
 		return
 	}
-	s.rxPairRange(q, 0, reps, cc, cm, mm)
+	s.rxPairRange(q, 0, len(s.amps)>>2, cc, cm, mm)
 }
 
 // rxPairRange applies the fused two-qubit RX kernel for representatives
@@ -120,8 +125,8 @@ func (s *State) MulDiagonalIndexed(idx []int32, factors []complex128) {
 	if len(idx) != len(s.amps) {
 		panic(fmt.Sprintf("quantum: index table length %d != dim %d", len(idx), len(s.amps)))
 	}
-	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
-		parallelChunks(len(s.amps), func(lo, hi int) {
+	if s.parallel() {
+		runRange(len(s.amps), true, func(lo, hi int) {
 			mulIndexedRange(s.amps[lo:hi], idx[lo:hi], factors)
 		})
 		return
@@ -143,28 +148,3 @@ func applyPhaseRange(amps []complex128, phases []float64) {
 	}
 }
 
-// parallelChunks runs f over [0,n) split into one contiguous chunk per
-// worker. Chunks are disjoint, so element-wise kernels remain
-// bit-identical to a serial pass regardless of scheduling. (Reductions
-// must NOT use this: its geometry depends on GOMAXPROCS. They go
-// through ReduceChunks, whose geometry is fixed by the dimension.)
-func parallelChunks(n int, f func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}

@@ -123,8 +123,8 @@ func TestMulDiagonalIndexedLengthPanics(t *testing.T) {
 	NewState(2).MulDiagonalIndexed([]int32{0}, []complex128{1})
 }
 
-// The chunked parallel split must be bit-identical to one serial pass,
-// independent of GOMAXPROCS (chunks are disjoint element ranges).
+// The pool-dispatched chunk split must be bit-identical to one serial
+// pass, independent of GOMAXPROCS (chunks are disjoint element ranges).
 func TestParallelChunksMatchSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(104))
 	n := 10
@@ -136,7 +136,7 @@ func TestParallelChunksMatchSerial(t *testing.T) {
 	serial := randomKernelState(rng, n)
 	chunked := serial.Clone()
 	applyPhaseRange(serial.amps, phases)
-	parallelChunks(dim, func(lo, hi int) {
+	dispatchChunks(dim/256, 256, func(lo, hi int) {
 		applyPhaseRange(chunked.amps[lo:hi], phases[lo:hi])
 	})
 	for i := range serial.amps {

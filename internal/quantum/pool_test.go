@@ -1,0 +1,115 @@
+package quantum
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// The chunk length is a pure function of the dimension: 2^13 below 2^20
+// amplitudes, 2^15 at and above — never a function of GOMAXPROCS.
+func TestChunkGeometry(t *testing.T) {
+	cases := []struct{ dim, clen, count int }{
+		{1 << 10, ReduceChunkLen, 1},
+		{1 << 13, ReduceChunkLen, 1},
+		{1 << 14, ReduceChunkLen, 2},
+		{1 << 19, ReduceChunkLen, 1 << 6},
+		{1 << 20, LargeReduceChunkLen, 1 << 5},
+		{1 << 24, LargeReduceChunkLen, 1 << 9},
+	}
+	for _, c := range cases {
+		if got := ChunkLen(c.dim); got != c.clen {
+			t.Errorf("ChunkLen(%d) = %d, want %d", c.dim, got, c.clen)
+		}
+		if got := reduceChunkCount(c.dim); got != c.count {
+			t.Errorf("reduceChunkCount(%d) = %d, want %d", c.dim, got, c.count)
+		}
+	}
+}
+
+// The worker pool's goroutines are persistent: any number of kernel
+// dispatches after warm-up must leave the goroutine count unchanged.
+// (The old per-call fan-out spawned and tore down GOMAXPROCS goroutines
+// per pass; this pins the replacement behavior.)
+func TestPoolNoGoroutineLeak(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	runtime.GOMAXPROCS(8)
+
+	s := randomParallelState(17, 9)
+	for i := 0; i < 4; i++ { // warm: spawn whatever workers will exist
+		s.RZ(3, 0.25)
+		s.Norm()
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		s.RZ(3, 0.25)
+		s.RXAll(0.1)
+		s.Norm()
+	}
+	after := runtime.NumGoroutine()
+	if after > before {
+		t.Fatalf("goroutine count grew across 100 dispatches: %d -> %d", before, after)
+	}
+}
+
+// Dispatch must execute every chunk exactly once, whoever claims it.
+func TestDispatchCoversEveryChunkOnce(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	runtime.GOMAXPROCS(8)
+
+	const nc, clen = 64, 128
+	marks := make([]int32, nc*clen)
+	for round := 0; round < 20; round++ {
+		dispatchChunks(nc, clen, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				marks[i]++
+			}
+		})
+	}
+	for i, m := range marks {
+		if m != 20 {
+			t.Fatalf("element %d executed %d times, want 20", i, m)
+		}
+	}
+}
+
+// Reductions from many goroutines share one pool; results must stay
+// exact and the dispatch must not deadlock when every worker is busy.
+func TestConcurrentReductionsSharedPool(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	runtime.GOMAXPROCS(8)
+
+	s := randomParallelState(17, 12)
+	want := s.Norm()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if got := s.Norm(); got != want {
+					select {
+					case errs <- errMismatch(got, want):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+type normMismatch struct{ got, want float64 }
+
+func errMismatch(got, want float64) error { return normMismatch{got, want} }
+
+func (e normMismatch) Error() string { return "concurrent Norm mismatch" }

@@ -2,8 +2,6 @@ package quantum
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // Deterministic fixed-geometry chunk machinery.
@@ -11,7 +9,7 @@ import (
 // Every reduction over the amplitude array (norms, inner products,
 // diagonal expectations, mixer matrix elements) and every streamed
 // diagonal kernel runs over the SAME chunk layout: the array is split
-// into contiguous chunks of ReduceChunkLen elements — a geometry fixed
+// into contiguous chunks of ChunkLen(dim) elements — a geometry fixed
 // by the dimension alone, never by GOMAXPROCS — and per-chunk partial
 // results are combined left-to-right in chunk order. Workers may
 // compute chunks in any order on any number of goroutines; because the
@@ -20,46 +18,60 @@ import (
 // one chunk reduce in a single serial pass, so registers of up to 13
 // qubits keep the exact summation order (and therefore the exact bits)
 // of the pre-chunking serial kernels.
+//
+// Chunk work is executed by the persistent worker pool (pool.go); the
+// pool only ever changes WHO computes a chunk, never which chunks
+// exist or how partials merge.
 
-// ReduceChunkLen is the fixed chunk length of the deterministic
+// ReduceChunkLen is the base chunk length of the deterministic
 // reduction geometry: 2^13 amplitudes = 128 KiB of complex128 per
 // chunk, small enough to block for L2 and large enough to amortize
 // scheduling.
 const ReduceChunkLen = 1 << 13
 
+// LargeChunkDim is the dimension from which the chunk length steps up
+// to LargeReduceChunkLen: at 2^20 amplitudes and beyond, 2^13-element
+// chunks mean ≥128 dispatches' worth of scheduling per pass, so larger
+// chunks amortize better while 2^15 complex128 (512 KiB) still blocks
+// within L2 on current cores.
+const LargeChunkDim = 1 << 20
+
+// LargeReduceChunkLen is the chunk length for dimensions of
+// LargeChunkDim and above.
+const LargeReduceChunkLen = 1 << 15
+
 // ParallelDim is the state-vector length from which kernels fan chunks
 // out across goroutines. Below it (n < 16 qubits) the whole vector fits
-// in cache and goroutine fan-out costs more than it saves; at and above
-// it, element-wise kernels and chunk reductions use up to GOMAXPROCS
-// workers.
+// in cache and fan-out costs more than it saves; at and above it,
+// element-wise kernels and chunk reductions use the worker pool.
 const ParallelDim = 1 << 16
 
-// parallelDim is the internal alias predating the exported constant.
-const parallelDim = ParallelDim
+// ChunkLen returns the fixed chunk length for an array of length dim —
+// a pure function of the dimension, so the chunk geometry (and with it
+// every reduction's merge order) never depends on GOMAXPROCS. Arrays
+// shorter than one chunk are processed as a single range.
+func ChunkLen(dim int) int {
+	if dim >= LargeChunkDim {
+		return LargeReduceChunkLen
+	}
+	return ReduceChunkLen
+}
 
 // reduceChunkCount returns the number of fixed-geometry chunks for an
 // array of length dim (a power of two).
 func reduceChunkCount(dim int) int {
-	if dim <= ReduceChunkLen {
+	clen := ChunkLen(dim)
+	if dim <= clen {
 		return 1
 	}
-	return dim / ReduceChunkLen
+	return dim / clen
 }
 
 // reduceParallel reports whether chunk work for an array of length dim
-// should fan out across goroutines. The answer never changes the chunk
-// geometry or merge order, only the scheduling.
+// should fan out across the worker pool. The answer never changes the
+// chunk geometry or merge order, only the scheduling.
 func reduceParallel(dim int) bool {
 	return dim >= ParallelDim && runtime.GOMAXPROCS(0) > 1
-}
-
-// partialPool recycles the per-chunk partial buffers of parallel
-// reductions so warm reductions do not allocate per call.
-var partialPool = sync.Pool{
-	New: func() any {
-		s := make([]float64, 0, 1024)
-		return &s
-	},
 }
 
 // ReduceChunks evaluates f over every fixed-geometry chunk of [0, dim)
@@ -73,52 +85,20 @@ func ReduceChunks(dim int, f func(lo, hi int) (a, b float64)) (a, b float64) {
 	if nc == 1 {
 		return f(0, dim)
 	}
+	clen := ChunkLen(dim)
 	if !reduceParallel(dim) {
 		for c := 0; c < nc; c++ {
-			pa, pb := f(c*ReduceChunkLen, (c+1)*ReduceChunkLen)
+			pa, pb := f(c*clen, (c+1)*clen)
 			a += pa
 			b += pb
 		}
 		return a, b
 	}
-	buf := partialPool.Get().(*[]float64)
-	parts := *buf
-	if cap(parts) < 2*nc {
-		parts = make([]float64, 2*nc)
-	} else {
-		parts = parts[:2*nc]
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nc {
-		workers = nc
-	}
-	var next int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(atomic.AddInt64(&next, 1)) - 1
-				if c >= nc {
-					return
-				}
-				parts[2*c], parts[2*c+1] = f(c*ReduceChunkLen, (c+1)*ReduceChunkLen)
-			}
-		}()
-	}
-	wg.Wait()
-	for c := 0; c < nc; c++ {
-		a += parts[2*c]
-		b += parts[2*c+1]
-	}
-	*buf = parts
-	partialPool.Put(buf)
-	return a, b
+	return dispatchReduce(nc, clen, f)
 }
 
 // ForEachChunk runs f over every fixed-geometry chunk of [0, dim),
-// fanning out across goroutines for large dim. Chunks are disjoint
+// fanning out across the worker pool for large dim. Chunks are disjoint
 // [lo, hi) ranges in the same layout ReduceChunks uses, so streamed
 // element-wise kernels whose per-element values depend on the chunk
 // base (incremental cost streaming) see the same ranges at every
@@ -129,30 +109,12 @@ func ForEachChunk(dim int, f func(lo, hi int)) {
 		f(0, dim)
 		return
 	}
+	clen := ChunkLen(dim)
 	if !reduceParallel(dim) {
 		for c := 0; c < nc; c++ {
-			f(c*ReduceChunkLen, (c+1)*ReduceChunkLen)
+			f(c*clen, (c+1)*clen)
 		}
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nc {
-		workers = nc
-	}
-	var next int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(atomic.AddInt64(&next, 1)) - 1
-				if c >= nc {
-					return
-				}
-				f(c*ReduceChunkLen, (c+1)*ReduceChunkLen)
-			}
-		}()
-	}
-	wg.Wait()
+	dispatchChunks(nc, clen, f)
 }

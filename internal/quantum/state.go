@@ -13,11 +13,12 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
-	"runtime"
 )
 
-// MaxQubits bounds state allocation (2^24 amplitudes ≈ 256 MiB).
-const MaxQubits = 24
+// MaxQubits bounds state allocation (2^28 amplitudes ≈ 4 GiB). The
+// practical ceiling for full evaluations is n = 26–28 depending on how
+// many state buffers the caller holds (a gradient workspace holds two).
+const MaxQubits = 28
 
 // State is the dense state vector of an n-qubit register.
 type State struct {
@@ -92,8 +93,8 @@ func (s *State) Normalize() {
 		panic("quantum: cannot normalize zero state")
 	}
 	inv := complex(1/n, 0)
-	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
-		parallelChunks(len(s.amps), func(lo, hi int) {
+	if s.parallel() {
+		runRange(len(s.amps), true, func(lo, hi int) {
 			amps := s.amps[lo:hi]
 			for i := range amps {
 				amps[i] *= inv
@@ -248,14 +249,13 @@ func (s *State) SampleCounts(shots int, rng *rand.Rand) map[uint64]int {
 func (s *State) Apply1Q(q int, u00, u01, u10, u11 complex128) {
 	s.checkQubit(q)
 	bit := 1 << uint(q)
-	reps := len(s.amps) >> 1
-	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
-		parallelChunks(reps, func(lo, hi int) {
+	if s.parallel() {
+		runRange(len(s.amps)>>1, true, func(lo, hi int) {
 			s.apply1QRange(bit, lo, hi, u00, u01, u10, u11)
 		})
 		return
 	}
-	s.apply1QRange(bit, 0, reps, u00, u01, u10, u11)
+	s.apply1QRange(bit, 0, len(s.amps)>>1, u00, u01, u10, u11)
 }
 
 // apply1QRange applies the 2×2 kernel for pair representatives
@@ -320,8 +320,8 @@ func (s *State) RZ(q int, theta float64) {
 	p0 := complex(cos, -sin)
 	p1 := complex(cos, sin)
 	bit := 1 << uint(q)
-	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
-		parallelChunks(len(s.amps), func(lo, hi int) {
+	if s.parallel() {
+		runRange(len(s.amps), true, func(lo, hi int) {
 			s.rzRange(bit, lo, hi, p0, p1)
 		})
 		return
@@ -440,8 +440,8 @@ func (s *State) ZZ(a, b int, theta float64) {
 	pSame := complex(cos, -sin) // Z⊗Z eigenvalue +1
 	pDiff := complex(cos, sin)  // Z⊗Z eigenvalue -1
 	abit, bbit := 1<<uint(a), 1<<uint(b)
-	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
-		parallelChunks(len(s.amps), func(lo, hi int) {
+	if s.parallel() {
+		runRange(len(s.amps), true, func(lo, hi int) {
 			s.zzRange(abit, bbit, lo, hi, pSame, pDiff)
 		})
 		return
@@ -467,8 +467,8 @@ func (s *State) ApplyDiagonalPhase(phases []float64) {
 	if len(phases) != len(s.amps) {
 		panic("quantum: phase table length mismatch")
 	}
-	if len(s.amps) >= parallelDim && runtime.GOMAXPROCS(0) > 1 {
-		parallelChunks(len(s.amps), func(lo, hi int) {
+	if s.parallel() {
+		runRange(len(s.amps), true, func(lo, hi int) {
 			applyPhaseRange(s.amps[lo:hi], phases[lo:hi])
 		})
 		return
