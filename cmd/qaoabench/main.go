@@ -13,7 +13,10 @@
 // recorded once per -cpu GOMAXPROCS setting, so scaling across worker
 // counts is visible in one file: entries measured above one worker
 // carry speedup_vs_serial and parallel_efficiency columns computed
-// against the matching serial entry.
+// against the matching serial entry. The problem-family suite
+// (ising/n20, maxksat/n20) times the generalized diagonal-Hamiltonian
+// streaming kernel — linear terms and Rosenberg auxiliaries included —
+// at the same register size and -cpu settings.
 //
 //	qaoabench                    # full suite → BENCH_qaoa.json
 //	qaoabench -quick             # skip the wall-clock experiments
@@ -46,6 +49,7 @@ import (
 	"qaoaml/internal/experiments"
 	"qaoaml/internal/graph"
 	"qaoaml/internal/optimize"
+	"qaoaml/internal/problem"
 	"qaoaml/internal/qaoa"
 	"qaoaml/internal/telemetry"
 )
@@ -257,6 +261,35 @@ func main() {
 		largeProblems[n] = lp
 		return lp
 	}
+	// Problem-family streaming suite at the same register size: a ±J
+	// spin glass with on-site fields (ising/n20) and a weighted
+	// Max-3-SAT formula whose Rosenberg auxiliaries pad 14 decision
+	// variables to a 20-qubit register (maxksat/n20). Both run the
+	// generalized diagonal-Hamiltonian kernel in streaming mode — linear
+	// terms exercise the cross-term CSR path MaxCut never touches.
+	familyProblems := map[string]*qaoa.Problem{}
+	familyProblem := func(name string) *qaoa.Problem {
+		if fp, ok := familyProblems[name]; ok {
+			return fp
+		}
+		var fp *qaoa.Problem
+		var err error
+		switch name {
+		case "ising/n20":
+			fp, err = qaoa.NewIsing(problem.RandomIsing(20, rand.New(rand.NewSource(61))))
+		case "maxksat/n20":
+			f := problem.RandomMaxKSAT(14, 6, 3, rand.New(rand.NewSource(62)))
+			fp, err = qaoa.New(problem.MaxKSAT(f))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if fp.NumQubits() != 20 {
+			fatal(fmt.Errorf("%s built a %d-qubit register; expected 20", name, fp.NumQubits()))
+		}
+		familyProblems[name] = fp
+		return fp
+	}
 	prevProcs := runtime.GOMAXPROCS(0)
 	for _, nc := range cpus {
 		runtime.GOMAXPROCS(nc)
@@ -282,6 +315,19 @@ func main() {
 			rep.add("grad/n20-p3", bench(func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					_ = ev.NegValueGrad(x, grad)
+				}
+			}))
+		}
+		for _, name := range []string{"ising/n20", "maxksat/n20"} {
+			if !benchMatch(name) {
+				continue
+			}
+			ev := qaoa.NewEvaluator(familyProblem(name), 1)
+			x := []float64{0.4, 0.3}
+			_ = ev.NegExpectation(x)
+			rep.add(name, bench(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = ev.NegExpectation(x)
 				}
 			}))
 		}

@@ -10,6 +10,7 @@ import (
 
 	"qaoaml/internal/graph"
 	"qaoaml/internal/optimize"
+	"qaoaml/internal/problem"
 	"qaoaml/internal/qaoa"
 	"qaoaml/internal/telemetry"
 )
@@ -27,6 +28,11 @@ type DataGenConfig struct {
 	Seed      int64              // RNG seed for graphs and starts
 	Workers   int                // parallel workers (default GOMAXPROCS)
 	Optimizer optimize.Optimizer // default L-BFGS-B
+	// Family selects the problem ensemble: problem.FamilyMaxCut (the
+	// default, the paper's Erdős–Rényi MaxCut recipe, byte-identical to
+	// the pre-family generator) or any other problem family, drawn by
+	// problem.RandomSpec at roughly Nodes qubits per instance.
+	Family string
 	// Recorder receives datagen telemetry: graph/record counters, the
 	// per-depth FC histograms "datagen.fc.p<d>", per-graph wall-time
 	// observations and the overall "datagen.generate" span, plus the
@@ -74,6 +80,21 @@ func (c *DataGenConfig) fillDefaults() error {
 	}
 	if c.Optimizer == nil {
 		c.Optimizer = &optimize.LBFGSB{Tol: c.Tol}
+	}
+	if c.Family == "" {
+		c.Family = problem.FamilyMaxCut
+	}
+	known := false
+	for _, f := range problem.Families() {
+		if f == c.Family {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("core: unknown problem family %q (want one of %v)", c.Family, problem.Families())
+	}
+	if c.Family != problem.FamilyMaxCut && c.Nodes < 4 {
+		return fmt.Errorf("core: family %q needs Nodes >= 4, got %d", c.Family, c.Nodes)
 	}
 	c.Recorder = telemetry.OrNop(c.Recorder)
 	return nil
@@ -221,10 +242,24 @@ func GenerateCtx(ctx context.Context, cfg DataGenConfig) (*Data, error) {
 	graphRNG := rand.New(rand.NewSource(cfg.Seed))
 	problems := make([]*qaoa.Problem, cfg.NumGraphs)
 	for g := 0; g < cfg.NumGraphs; g++ {
-		gr := graph.ErdosRenyiConnected(cfg.Nodes, cfg.EdgeProb, graphRNG)
-		pb, err := qaoa.NewProblem(gr)
+		// The MaxCut branch keeps the exact pre-family call sequence
+		// (ErdosRenyiConnected with EdgeProb, then NewProblem), so legacy
+		// configurations reproduce their datasets byte for byte; other
+		// families draw from the per-family ensemble generators.
+		var pb *qaoa.Problem
+		var err error
+		if cfg.Family == problem.FamilyMaxCut {
+			gr := graph.ErdosRenyiConnected(cfg.Nodes, cfg.EdgeProb, graphRNG)
+			pb, err = qaoa.NewProblem(gr)
+		} else {
+			var spec problem.Spec
+			spec, err = problem.RandomSpec(cfg.Family, cfg.Nodes, graphRNG)
+			if err == nil {
+				pb, err = qaoa.New(spec)
+			}
+		}
 		if err != nil {
-			return nil, fmt.Errorf("core: graph %d: %w", g, err)
+			return nil, fmt.Errorf("core: %s instance %d: %w", cfg.Family, g, err)
 		}
 		problems[g] = pb
 	}

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"qaoaml/internal/graph"
+	"qaoaml/internal/problem"
 	"qaoaml/internal/qaoa"
 )
 
@@ -31,6 +32,7 @@ type configFile struct {
 	Starts    int     `json:"starts"`
 	Tol       float64 `json:"tol"`
 	Seed      int64   `json:"seed"`
+	Family    string  `json:"family,omitempty"`
 }
 
 type recordFile struct {
@@ -46,8 +48,14 @@ type recordFile struct {
 
 const dataFileVersion = 1
 
-// Save serializes the dataset as JSON.
+// Save serializes the dataset as JSON. The edge-list schema only
+// covers graph-backed datasets; non-MaxCut families regenerate their
+// instances deterministically from (family, seed), so persisting the
+// records with the config is a future schema version.
 func (d *Data) Save(w io.Writer) error {
+	if d.Config.Family != "" && d.Config.Family != problem.FamilyMaxCut {
+		return fmt.Errorf("core: persisting %q datasets is not supported (schema v%d stores edge lists)", d.Config.Family, dataFileVersion)
+	}
 	df := dataFile{
 		Version: dataFileVersion,
 		Config: configFile{
@@ -58,6 +66,7 @@ func (d *Data) Save(w io.Writer) error {
 			Starts:    d.Config.Starts,
 			Tol:       d.Config.Tol,
 			Seed:      d.Config.Seed,
+			Family:    d.Config.Family,
 		},
 		Nodes: d.Config.Nodes,
 	}
@@ -118,7 +127,13 @@ func Load(r io.Reader) (*Data, error) {
 			Starts:    df.Config.Starts,
 			Tol:       df.Config.Tol,
 			Seed:      df.Config.Seed,
+			Family:    df.Config.Family,
 		},
+	}
+	// Pre-family datasets (version-1 files without the field) are MaxCut
+	// by construction.
+	if d.Config.Family == "" {
+		d.Config.Family = problem.FamilyMaxCut
 	}
 	for gi, edges := range df.Graphs {
 		g := graph.New(df.Nodes)

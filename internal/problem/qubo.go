@@ -1,0 +1,162 @@
+package problem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// QUBO accumulates an objective over binary variables x_i ∈ {0, 1}:
+//
+//	f(x) = c + Σ_i l_i·x_i + Σ_{i<j} q_ij·x_i·x_j
+//
+// and converts it exactly to the spin form via x_i = (1 − s_i)/2. It is
+// the working representation of every penalty-term compiler (Max-k-SAT,
+// portfolio, coloring): build the penalty polynomial term by term, then
+// ToIsing once. Duplicate (i, j) contributions merge; x_i² folds to x_i.
+type QUBO struct {
+	N     int
+	Sense Sense
+
+	constant float64
+	linear   []float64
+	quad     map[[2]int]float64
+}
+
+// NewQUBO returns an empty accumulator over n binary variables.
+func NewQUBO(n int, sense Sense) *QUBO {
+	return &QUBO{N: n, Sense: sense, linear: make([]float64, n), quad: make(map[[2]int]float64)}
+}
+
+// AddConstant adds c to the objective.
+func (q *QUBO) AddConstant(c float64) { q.constant += c }
+
+// AddLinear adds c·x_i.
+func (q *QUBO) AddLinear(i int, c float64) {
+	q.checkVar(i)
+	q.linear[i] += c
+}
+
+// AddQuadratic adds c·x_i·x_j; i == j folds to the linear term c·x_i.
+func (q *QUBO) AddQuadratic(i, j int, c float64) {
+	q.checkVar(i)
+	q.checkVar(j)
+	if i == j {
+		q.linear[i] += c
+		return
+	}
+	if i > j {
+		i, j = j, i
+	}
+	q.quad[[2]int{i, j}] += c
+}
+
+// AddProduct adds c·Π(a_k + b_k·x_{v_k}) for up to two affine factors —
+// the clause-expansion workhorse of the Max-k-SAT compiler.
+func (q *QUBO) AddProduct(c float64, factors ...Affine) {
+	switch len(factors) {
+	case 0:
+		q.AddConstant(c)
+	case 1:
+		f := factors[0]
+		q.AddConstant(c * f.A)
+		q.AddLinear(f.Var, c*f.B)
+	case 2:
+		f, g := factors[0], factors[1]
+		q.AddConstant(c * f.A * g.A)
+		q.AddLinear(g.Var, c*f.A*g.B)
+		q.AddLinear(f.Var, c*f.B*g.A)
+		q.AddQuadratic(f.Var, g.Var, c*f.B*g.B)
+	default:
+		panic(fmt.Sprintf("problem: AddProduct of degree %d > 2 (reduce with auxiliary variables first)", len(factors)))
+	}
+}
+
+// Affine is one factor a + b·x_v of a penalty product.
+type Affine struct {
+	Var  int
+	A, B float64
+}
+
+func (q *QUBO) checkVar(i int) {
+	if i < 0 || i >= q.N {
+		panic(fmt.Sprintf("problem: QUBO variable %d out of [0, %d)", i, q.N))
+	}
+}
+
+// Value evaluates the binary-variable objective at assignment z.
+func (q *QUBO) Value(z uint64) float64 {
+	v := q.constant
+	for i, l := range q.linear {
+		if l != 0 && (z>>uint(i))&1 == 1 {
+			v += l
+		}
+	}
+	for key, c := range q.quad {
+		if (z>>uint(key[0]))&1 == 1 && (z>>uint(key[1]))&1 == 1 {
+			v += c
+		}
+	}
+	return v
+}
+
+// ToIsing converts to the spin representation exactly:
+//
+//	x_i       = 1/2 − s_i/2
+//	x_i·x_j   = 1/4·(1 − s_i − s_j + s_i·s_j)
+//
+// The divisions are exact powers of two, so integer QUBO coefficients
+// stay exactly representable (as quarters) in the Ising form. vars sets
+// Instance.Vars (decision-variable count); pass q.N when no auxiliary
+// variables were appended.
+func (q *QUBO) ToIsing(family string, vars int) (*Instance, error) {
+	in := &Instance{
+		Family: family,
+		Sense:  q.Sense,
+		N:      q.N,
+		Vars:   vars,
+		Linear: make([]float64, q.N),
+		Offset: q.constant,
+	}
+	for i, l := range q.linear {
+		in.Offset += l / 2
+		in.Linear[i] -= l / 2
+	}
+	keys := make([][2]int, 0, len(q.quad))
+	for key := range q.quad {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, key := range keys {
+		c := q.quad[key]
+		if c == 0 {
+			continue
+		}
+		in.Offset += c / 4
+		in.Linear[key[0]] -= c / 4
+		in.Linear[key[1]] -= c / 4
+		in.Quad = append(in.Quad, Term{I: key[0], J: key[1], W: c / 4})
+	}
+	allZero := true
+	for _, h := range in.Linear {
+		if h != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		in.Linear = nil
+	}
+	if math.IsNaN(in.Offset) || math.IsInf(in.Offset, 0) {
+		return nil, fmt.Errorf("problem: QUBO offset overflowed to %v", in.Offset)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}

@@ -69,6 +69,18 @@ func mod(x, m float64) float64 {
 // 3-regular, where this folding is what makes the per-stage patterns
 // comparable across graphs.
 func (pb *Problem) Canonicalize(pr Params) Params {
+	// Generic Ising instances: linear terms break the bit-flip (X⊗n)
+	// symmetry behind the β mod π/2 folding, so only the full-period
+	// reductions apply — β mod π always (RX(2β) is π-periodic up to
+	// global phase), plus γ mod 2π and the joint conjugation when the
+	// doubled coefficients are integral (phase-generator differences are
+	// then integers, making the separator 2π-periodic in γ).
+	if pb.Inst != nil {
+		if pb.Inst.IntegerCoeffs() {
+			return canonicalizeIsing(pr)
+		}
+		return foldBetaPeriod(pr, math.Pi)
+	}
 	// Non-integer edge weights break the 2π-periodicity of the phase
 	// separator, so only the weight-independent β folding applies.
 	if pb.Graph.Weighted() && !pb.Graph.IntegerWeighted() {
@@ -96,12 +108,37 @@ func (pb *Problem) Canonicalize(pr Params) Params {
 // foldBetaOnly applies only the mixer-period symmetry: βi mod π/2 per
 // stage, with γ untouched (valid for any edge weights, since the cut
 // weight is invariant under complementing every vertex).
-func foldBetaOnly(pr Params) Params {
+func foldBetaOnly(pr Params) Params { return foldBetaPeriod(pr, BetaPeriod) }
+
+// foldBetaPeriod folds every mixer angle into [0, period) with γ
+// untouched. Generic Ising instances use period π (the RX(2β) layer
+// itself), MaxCut uses π/2 (the extra X⊗n symmetry).
+func foldBetaPeriod(pr Params, period float64) Params {
 	p := pr.Depth()
 	out := NewParams(p)
 	copy(out.Gamma, pr.Gamma)
 	for i := 0; i < p; i++ {
-		out.Beta[i] = mod(pr.Beta[i], BetaPeriod)
+		out.Beta[i] = mod(pr.Beta[i], period)
+	}
+	return out
+}
+
+// canonicalizeIsing maps params of an integer-coefficient Ising
+// instance into its fundamental domain: γi mod 2π, βi mod π, then the
+// joint conjugation (γ⃗, β⃗) → (−γ⃗, −β⃗) — exact for any real diagonal
+// observable — to bring γ1 into [0, π].
+func canonicalizeIsing(pr Params) Params {
+	p := pr.Depth()
+	out := NewParams(p)
+	for i := 0; i < p; i++ {
+		out.Gamma[i] = mod(pr.Gamma[i], GammaMax)
+		out.Beta[i] = mod(pr.Beta[i], math.Pi)
+	}
+	if p > 0 && out.Gamma[0] > math.Pi {
+		for i := 0; i < p; i++ {
+			out.Gamma[i] = mod(-out.Gamma[i], GammaMax)
+			out.Beta[i] = mod(-out.Beta[i], math.Pi)
+		}
 	}
 	return out
 }

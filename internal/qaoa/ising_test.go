@@ -1,0 +1,266 @@
+package qaoa
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"qaoaml/internal/graph"
+	"qaoaml/internal/problem"
+)
+
+func mustIsing(t testing.TB, in *problem.Instance) *Problem {
+	t.Helper()
+	pb, err := NewIsing(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb
+}
+
+// The acceptance bar of the QUBO front-end: a MaxCut instance compiled
+// through the generic Ising path must evaluate bit-identically to the
+// direct graph path — expectation AND adjoint gradient — across the
+// materialized (n=8), streaming (n=14) and full-size (n=20) regimes at
+// GOMAXPROCS 1, 2 and 8. T = 2C − m is exact in int64, halving is an
+// exponent shift and m/2 + T/2 = C exactly, so every table, factor and
+// reduction the two paths build holds the same doubles.
+func TestMaxCutViaQUBOBitIdentical(t *testing.T) {
+	type cfg struct {
+		n, deg int
+		short  bool
+	}
+	cfgs := []cfg{
+		{n: 8, deg: 3, short: true},
+		{n: 14, deg: 3, short: true},
+		{n: 20, deg: 3, short: false},
+	}
+	workers := []int{1, 2, 8}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, c := range cfgs {
+		if testing.Short() && !c.short {
+			continue
+		}
+		rng := rand.New(rand.NewSource(int64(400 + c.n)))
+		g := graph.RandomRegular(c.n, c.deg, rng)
+		direct := mustProblem(t, g)
+		in, err := problem.CompileMaxCut(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaQUBO := mustIsing(t, in)
+		if viaQUBO.OptValue != direct.OptValue {
+			t.Errorf("n=%d: compiled optimum %v != MaxCut optimum %v", c.n, viaQUBO.OptValue, direct.OptValue)
+		}
+		for _, p := range []int{1, 3} {
+			x := testParams(p).Vector()
+			for _, w := range workers {
+				runtime.GOMAXPROCS(w)
+				dw, qw := direct.NewWorkspace(), viaQUBO.NewWorkspace()
+				if dv, qv := dw.ExpectationVec(x), qw.ExpectationVec(x); dv != qv {
+					t.Errorf("n=%d p=%d w=%d: direct <C> %v != via-QUBO %v", c.n, p, w, dv, qv)
+				}
+				dg, qg := make([]float64, len(x)), make([]float64, len(x))
+				dv, qv := dw.ValueGrad(x, dg), qw.ValueGrad(x, qg)
+				if dv != qv {
+					t.Errorf("n=%d p=%d w=%d: direct grad value %v != via-QUBO %v", c.n, p, w, dv, qv)
+				}
+				for i := range dg {
+					if dg[i] != qg[i] {
+						t.Errorf("n=%d p=%d w=%d: grad[%d] direct %v != via-QUBO %v", c.n, p, w, i, dg[i], qg[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Streaming vs materialized for Hamiltonians WITH linear terms: an
+// integer-coefficient spin glass at n=14 takes the streaming kernel
+// through NewIsing, and must match a directly-constructed materialized
+// kernel bit for bit at 1, 2 and 8 workers — both derive every double
+// from the same int64 accumulator.
+func TestIsingStreamMatchesMaterializedExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	in := problem.RandomIsing(14, rng)
+	if !in.IntegerCoeffs() {
+		t.Fatal("RandomIsing should have integer coefficients")
+	}
+	hasLinear := false
+	for _, h := range in.Linear {
+		if h != 0 {
+			hasLinear = true
+		}
+	}
+	if !hasLinear {
+		t.Fatal("test instance has no linear terms; raise n or reseed")
+	}
+	pb := mustIsing(t, in)
+	if _, ok := pb.kernel().(*isingStreamKernel); !ok {
+		t.Fatalf("n=%d instance did not pick the streaming kernel", in.N)
+	}
+	diag, gen := buildIsingTables(in)
+	mat := newDiagKernelFromGen(in.N, diag, gen)
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, p := range []int{1, 3} {
+		x := testParams(p).Vector()
+		for _, w := range []int{1, 2, 8} {
+			runtime.GOMAXPROCS(w)
+			sw, mw := newWorkspace(pb.kernel()), newWorkspace(mat)
+			if sv, mv := sw.ExpectationVec(x), mw.ExpectationVec(x); sv != mv {
+				t.Errorf("p=%d w=%d: streaming <Score> %v != materialized %v", p, w, sv, mv)
+			}
+			sg, mg := make([]float64, len(x)), make([]float64, len(x))
+			sv, mv := sw.ValueGrad(x, sg), mw.ValueGrad(x, mg)
+			if sv != mv {
+				t.Errorf("p=%d w=%d: streaming grad value %v != materialized %v", p, w, sv, mv)
+			}
+			for i := range sg {
+				if sg[i] != mg[i] {
+					t.Errorf("p=%d w=%d: grad[%d] streaming %v != materialized %v", p, w, i, sg[i], mg[i])
+				}
+			}
+		}
+	}
+}
+
+// Float-coefficient instances can't share an integer accumulator, so
+// streaming matches materialized to rounding error only.
+func TestIsingStreamFloatCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	in := problem.RandomIsing(14, rng)
+	in.Linear[3] = 0.37 // break integrality
+	if in.IntegerCoeffs() {
+		t.Fatal("instance should have float coefficients")
+	}
+	pb := mustIsing(t, in)
+	sk, ok := pb.kernel().(*isingStreamKernel)
+	if !ok {
+		t.Fatal("expected streaming kernel")
+	}
+	if sk.integer {
+		t.Fatal("float instance must take the float streaming path")
+	}
+	diag, gen := buildIsingTables(in)
+	mat := newDiagKernelFromGen(in.N, diag, gen)
+	x := testParams(2).Vector()
+	sv := newWorkspace(pb.kernel()).ExpectationVec(x)
+	mv := newWorkspace(mat).ExpectationVec(x)
+	if math.Abs(sv-mv) > 1e-9*(1+math.Abs(mv)) {
+		t.Errorf("float streaming <Score> %v != materialized %v", sv, mv)
+	}
+}
+
+// The generic gate circuit (RZ per field, CNOT·RZ·CNOT per coupling)
+// must equal the fast diagonal path exactly, global phase included —
+// for both senses, with linear terms present.
+func TestIsingFastPathMatchesGateCircuit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 6; trial++ {
+		in := problem.RandomIsing(6, rng)
+		if trial%2 == 1 {
+			in.Sense = problem.Maximize
+		}
+		pb := mustIsing(t, in)
+		pr := randomParams(rng, 1+rng.Intn(3))
+		fast := pb.State(pr)
+		slow := pb.BuildCircuit(pr).Simulate()
+		if !fast.Equal(slow, 1e-10) {
+			t.Fatalf("trial %d: fast path != gate circuit (sense %v)", trial, in.Sense)
+		}
+	}
+}
+
+// Expectation must equal the probability-weighted Score sum, and the
+// normalized AR must sit in [0, 1] with the brute-force extremes as
+// anchors.
+func TestIsingExpectationAndRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	in := problem.RandomIsing(8, rng)
+	pb := mustIsing(t, in)
+	pr := randomParams(rng, 2)
+	e := pb.Expectation(pr)
+	want := 0.0
+	st := pb.State(pr)
+	for z := uint64(0); z < 1<<8; z++ {
+		want += st.Probability(z) * in.Score(z)
+	}
+	if math.Abs(e-want) > 1e-9*(1+math.Abs(want)) {
+		t.Errorf("<Score> = %v, want probability sum %v", e, want)
+	}
+	ar := pb.ApproximationRatio(pr)
+	if ar < 0 || ar > 1 {
+		t.Errorf("normalized score %v out of [0, 1]", ar)
+	}
+	if pb.OptValue <= pb.MinScore {
+		t.Errorf("degenerate score range [%v, %v]", pb.MinScore, pb.OptValue)
+	}
+	score, assign := pb.BestSampled(pr)
+	if got := in.Score(assign); got != score {
+		t.Errorf("BestSampled score %v != Score(%d) = %v", score, assign, got)
+	}
+}
+
+// New must build a working problem for every family, and the compiled
+// families must report sane normalized ratios.
+func TestNewAllFamilies(t *testing.T) {
+	for _, fam := range problem.Families() {
+		rng := rand.New(rand.NewSource(90))
+		spec, err := problem.RandomSpec(fam, 9, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		pb, err := New(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if fam == problem.FamilyMaxCut {
+			if pb.Inst != nil || pb.Graph == nil {
+				t.Fatalf("maxcut must keep the legacy graph path")
+			}
+		} else if pb.Inst == nil {
+			t.Fatalf("%s: compiled family did not populate Inst", fam)
+		}
+		pr := testParams(1)
+		ar := pb.ApproximationRatio(pr)
+		if math.IsNaN(ar) || ar < -1e-12 || ar > 1+1e-12 {
+			t.Errorf("%s: approximation ratio %v out of [0, 1]", fam, ar)
+		}
+	}
+}
+
+// Generic canonicalization must preserve the expectation: β mod π and
+// (for integer coefficients) γ mod 2π plus the joint conjugation are
+// exact symmetries of Hamiltonians with linear terms — while the
+// MaxCut-only β mod π/2 fold is NOT, which is why the Inst guard
+// exists.
+func TestIsingCanonicalizePreservesExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := problem.RandomIsing(8, rng)
+	pb := mustIsing(t, in)
+	for trial := 0; trial < 8; trial++ {
+		pr := NewParams(2)
+		for i := range pr.Gamma {
+			pr.Gamma[i] = (rng.Float64() - 0.5) * 4 * GammaMax
+			pr.Beta[i] = (rng.Float64() - 0.5) * 4 * BetaMax
+		}
+		canon := pb.Canonicalize(pr)
+		for i := range canon.Beta {
+			if canon.Beta[i] < 0 || canon.Beta[i] >= math.Pi {
+				t.Fatalf("canonical beta[%d] = %v out of [0, π)", i, canon.Beta[i])
+			}
+		}
+		if canon.Gamma[0] < 0 || canon.Gamma[0] > math.Pi+1e-12 {
+			t.Fatalf("canonical gamma[0] = %v out of [0, π]", canon.Gamma[0])
+		}
+		e0, e1 := pb.Expectation(pr), pb.Expectation(canon)
+		if math.Abs(e0-e1) > 1e-9*(1+math.Abs(e0)) {
+			t.Fatalf("trial %d: canonicalization changed <Score>: %v -> %v", trial, e0, e1)
+		}
+	}
+}

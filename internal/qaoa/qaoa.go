@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"qaoaml/internal/graph"
+	"qaoaml/internal/problem"
 	"qaoaml/internal/quantum"
 )
 
@@ -97,8 +98,16 @@ func (pr Params) Validate(checkDomain bool) error {
 type Problem struct {
 	Graph       *graph.Graph
 	CutTable    []float64 // nil in streaming mode
-	OptValue    float64   // exact MaxCut value (cut weight)
-	TotalWeight float64   // sum of all edge weights
+	OptValue    float64   // exact optimum: MaxCut weight, or best Score for Ising problems
+	TotalWeight float64   // sum of all edge weights (MaxCut problems only)
+
+	// Generic-Hamiltonian fields (New / NewIsing). For non-MaxCut
+	// families Graph is nil, Inst holds the compiled Ising instance and
+	// evaluation runs through the Ising kernels (ising.go); MinScore is
+	// the exact worst Score, the floor of the normalized-score ratio.
+	Spec     problem.Spec
+	Inst     *problem.Instance
+	MinScore float64
 
 	// Fast-path precomputation (see workspace.go), built lazily so any
 	// correctly-populated Problem value gets it on first evaluation.
@@ -123,6 +132,7 @@ func NewProblem(g *graph.Graph) (*Problem, error) {
 		Graph:       g,
 		OptValue:    opt,
 		TotalWeight: g.TotalWeight(),
+		Spec:        problem.MaxCut(g),
 	}
 	if g.N < StreamingThreshold {
 		pb.CutTable = g.WeightedCutTable()
@@ -145,14 +155,25 @@ func (pb *Problem) CutValue(z uint64) float64 {
 // genuinely need all 2^n entries (the noisy trajectory sampler) call
 // it; the evaluation hot paths never do.
 func (pb *Problem) costDiagonal() []float64 {
+	if pb.Inst != nil {
+		diag, _ := buildIsingTables(pb.Inst)
+		return diag
+	}
 	if pb.CutTable != nil {
 		return pb.CutTable
 	}
 	return pb.Graph.WeightedCutTable()
 }
 
-// NumQubits returns the register width (one qubit per vertex).
-func (pb *Problem) NumQubits() int { return pb.Graph.N }
+// NumQubits returns the register width: one qubit per vertex for
+// MaxCut, the compiled register (decision variables plus any
+// quadratization auxiliaries) for Ising problems.
+func (pb *Problem) NumQubits() int {
+	if pb.Inst != nil {
+		return pb.Inst.N
+	}
+	return pb.Graph.N
+}
 
 // BuildCircuit constructs the explicit gate-level QAOA circuit for the
 // given parameters: H on all qubits, then per stage the CNOT·RZ(−γ)·CNOT
@@ -166,6 +187,15 @@ func (pb *Problem) BuildCircuit(pr Params) *quantum.Circuit {
 	c := quantum.NewCircuit(n)
 	for q := 0; q < n; q++ {
 		c.H(q)
+	}
+	if pb.Inst != nil {
+		for s := 0; s < pr.Depth(); s++ {
+			pb.isingCircuit(c, pr.Gamma[s])
+			for q := 0; q < n; q++ {
+				c.RX(q, 2*pr.Beta[s])
+			}
+		}
+		return c
 	}
 	edges := pb.Graph.Edges()
 	weights := pb.Graph.Weights()
@@ -207,17 +237,25 @@ func (pb *Problem) Expectation(pr Params) float64 {
 	return e
 }
 
-// ApproximationRatio returns ⟨C⟩ / C_opt for the given parameters.
+// ApproximationRatio returns the quality ratio for the given
+// parameters: ⟨C⟩ / C_opt for MaxCut (the paper's convention), and the
+// [0, 1]-normalized score (⟨Score⟩ − worst) / (best − worst) for
+// compiled Ising families, whose raw Score can be negative and whose
+// plain ratio would be meaningless.
 func (pb *Problem) ApproximationRatio(pr Params) float64 {
+	if pb.Inst != nil {
+		return pb.NormalizedScore(pb.Expectation(pr))
+	}
 	return pb.Expectation(pr) / pb.OptValue
 }
 
-// BestSampledCut returns the most probable basis state's cut weight and
+// BestSampledCut returns the most probable basis state's objective and
 // the assignment, i.e. the solution a user would read out after
-// optimization.
+// optimization. For MaxCut problems the objective is the cut weight;
+// for compiled Ising families it is the direction-normalized Score
+// (see BestSampled, the family-generic name).
 func (pb *Problem) BestSampledCut(pr Params) (cut float64, assign uint64) {
-	assign, _ = pb.State(pr).ArgmaxProbability()
-	return pb.CutValue(assign), assign
+	return pb.BestSampled(pr)
 }
 
 // Evaluator wraps a Problem as a minimization objective over the flat

@@ -121,6 +121,32 @@ func newDiagKernel(n int, diag []float64, coeff func(v float64) float64) *diagKe
 	return k
 }
 
+// newDiagKernelFromGen builds the materialized kernel from independent
+// observable and phase-generator tables — the generic-Hamiltonian
+// entry, where gen(z) is not a pointwise function of diag(z) (a
+// minimization instance flips the sign, auxiliary penalties shift it).
+// The distinct-value factorization dedupes gen with the same
+// first-occurrence rule as newDiagKernel.
+func newDiagKernelFromGen(n int, diag, gen []float64) *diagKernel {
+	k := &diagKernel{
+		n:    n,
+		diag: diag,
+		idx:  make([]int32, len(diag)),
+		gen:  gen,
+	}
+	seen := make(map[float64]int32, 64)
+	for z, a := range gen {
+		j, ok := seen[a]
+		if !ok {
+			j = int32(len(k.halfAngles))
+			k.halfAngles = append(k.halfAngles, a)
+			seen[a] = j
+		}
+		k.idx[z] = j
+	}
+	return k
+}
+
 // kernel returns the Problem's phase kernel, building it on first use.
 // Lazy construction keeps any Problem value usable regardless of how it
 // was created; sync.Once makes first use safe under concurrency.
@@ -129,6 +155,10 @@ func newDiagKernel(n int, diag []float64, coeff func(v float64) float64) *diagKe
 // the edge-list streamKernel, which never allocates a 2^n table.
 func (pb *Problem) kernel() costKernel {
 	pb.kernOnce.Do(func() {
+		if pb.Inst != nil {
+			pb.kern = newIsingKernel(pb.Inst)
+			return
+		}
 		if pb.CutTable == nil {
 			pb.kern = newStreamKernel(pb.Graph, pb.TotalWeight)
 			return

@@ -71,11 +71,14 @@ func (c *lruCache) Len() int {
 	return c.ll.Len()
 }
 
-// solveKey builds the canonical cache key: the graph fingerprint plus
-// every option that affects the result. Deadlines and wait-mode are
-// deliberately excluded — they change whether a solve finishes, never
-// what it computes — and only successful results are cached.
+// solveKey builds the canonical cache key: the family and the instance
+// fingerprint (which covers linear terms, couplings, offsets and sense
+// for compiled families — two instances over the same coupling graph
+// never alias) plus every option that affects the result. Deadlines
+// and wait-mode are deliberately excluded — they change whether a
+// solve finishes, never what it computes — and only successful results
+// are cached.
 func solveKey(fingerprint string, req SolveRequest) string {
-	return fmt.Sprintf("%s|p=%d|s=%s|o=%s|m=%s|seed=%d",
-		fingerprint, req.Depth, req.Strategy, req.Optimizer, req.Model, req.Seed)
+	return fmt.Sprintf("%s|f=%s|p=%d|s=%s|o=%s|m=%s|seed=%d",
+		fingerprint, req.Problem, req.Depth, req.Strategy, req.Optimizer, req.Model, req.Seed)
 }

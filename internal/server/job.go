@@ -7,7 +7,7 @@ import (
 	"sync"
 	"time"
 
-	"qaoaml/internal/graph"
+	"qaoaml/internal/problem"
 )
 
 // JobState is the lifecycle of one solve job.
@@ -28,14 +28,22 @@ func (s JobState) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
-// SolveResult is the payload of a completed job.
+// SolveResult is the payload of a completed job. AR is the MaxCut
+// approximation ratio for maxcut problems and the [0, 1]-normalized
+// score for every other family; Objective is the best sampled Score
+// (direction-normalized, so bigger is always better) and Assignment
+// the corresponding decision-variable bitstring (character i = value
+// of variable i; quadratization auxiliaries are masked off).
 type SolveResult struct {
 	Strategy    string    `json:"strategy"`
+	Problem     string    `json:"problem,omitempty"`
 	AR          float64   `json:"ar"`
 	Gamma       []float64 `json:"gamma"`
 	Beta        []float64 `json:"beta"`
 	NFev        int       `json:"nfev"`
 	Level1AR    float64   `json:"level1_ar,omitempty"` // two-level only
+	Objective   float64   `json:"objective,omitempty"`
+	Assignment  string    `json:"assignment,omitempty"`
 	Fingerprint string    `json:"fingerprint"`
 }
 
@@ -60,8 +68,9 @@ type Job struct {
 	ID  string
 	Key string // canonical cache key (fingerprint + solve options)
 
-	req SolveRequest
-	g   *graph.Graph
+	req  SolveRequest
+	spec problem.Spec
+	fp   string // canonical instance fingerprint
 
 	ctx    context.Context
 	cancel context.CancelFunc

@@ -34,9 +34,15 @@ import (
 	"qaoaml/internal/core"
 	"qaoaml/internal/graph"
 	"qaoaml/internal/optimize"
+	"qaoaml/internal/problem"
 	"qaoaml/internal/qaoa"
 	"qaoaml/internal/telemetry"
 )
+
+// APIVersion is the wire-schema version served by /healthz. Version 2
+// added the problem-family fields to SolveRequest (v1 bodies — plain
+// MaxCut with nodes/edges/weights — parse unchanged).
+const APIVersion = 2
 
 // Solve strategies.
 const (
@@ -105,12 +111,64 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// SolveRequest is the POST /v1/solve body.
+// WireTerm is one quadratic coupling J·s_i·s_j on the wire.
+type WireTerm struct {
+	I int     `json:"i"`
+	J int     `json:"j"`
+	W float64 `json:"w"`
+}
+
+// SolveRequest is the POST /v1/solve body. Problem selects the family;
+// each family reads its own payload fields and rejects the others'
+// with a 400 (unknown JSON keys are rejected outright):
+//
+//	maxcut (default): nodes, edges, weights
+//	qubo:             nodes, linear, quad, offset, sense, vars
+//	maxksat:          vars, clauses, clause_weights
+//	partition:        numbers
+//	portfolio:        returns, covariance, risk_aversion, budget, penalty
+//	coloring:         nodes, edges, colors
 type SolveRequest struct {
-	Nodes   int       `json:"nodes"`
-	Edges   [][2]int  `json:"edges"`
+	// Problem is the family: maxcut (default), qubo, maxksat,
+	// partition, portfolio or coloring.
+	Problem string    `json:"problem,omitempty"`
+	Nodes   int       `json:"nodes,omitempty"`
+	Edges   [][2]int  `json:"edges,omitempty"`
 	Weights []float64 `json:"weights,omitempty"` // parallel to Edges; omitted = unweighted
-	Depth   int       `json:"depth"`
+
+	// qubo payload: an explicit Ising Hamiltonian over Nodes spins —
+	// per-spin fields, couplings, constant offset, and the optimization
+	// sense ("min" by default: spin glasses minimize energy). Vars marks
+	// how many leading spins are decision variables (default all).
+	Linear []float64  `json:"linear,omitempty"`
+	Quad   []WireTerm `json:"quad,omitempty"`
+	Offset float64    `json:"offset,omitempty"`
+	Sense  string     `json:"sense,omitempty"`
+	Vars   int        `json:"vars,omitempty"`
+
+	// maxksat payload: weighted Max-k-SAT (k ≤ 3) over Vars variables,
+	// clauses as DIMACS-style signed literals (±(v+1)). Three-literal
+	// clauses add one auxiliary qubit each (Rosenberg quadratization),
+	// which counts against the node cap.
+	Clauses       [][]int   `json:"clauses,omitempty"`
+	ClauseWeights []float64 `json:"clause_weights,omitempty"`
+
+	// partition payload: positive numbers to split into two equal-sum
+	// halves.
+	Numbers []float64 `json:"numbers,omitempty"`
+
+	// portfolio payload: budget-constrained mean-variance selection.
+	Returns      []float64   `json:"returns,omitempty"`
+	Covariance   [][]float64 `json:"covariance,omitempty"`
+	RiskAversion float64     `json:"risk_aversion,omitempty"`
+	Budget       int         `json:"budget,omitempty"`
+	Penalty      float64     `json:"penalty,omitempty"`
+
+	// coloring payload: the nodes/edges graph plus the color count
+	// (nodes·colors qubits).
+	Colors int `json:"colors,omitempty"`
+
+	Depth int `json:"depth"`
 	// Strategy is "two-level" (default) or "naive".
 	Strategy string `json:"strategy,omitempty"`
 	// Optimizer is lbfgsb (default), neldermead, slsqp or cobyla.
@@ -260,24 +318,51 @@ const (
 	outcomeCached                         // served from the result cache
 )
 
-// normalize applies defaults and validates the request, returning the
-// instance graph.
-func (s *Server) normalize(req *SolveRequest) (*graph.Graph, *httpError) {
-	if req.Strategy == "" {
-		req.Strategy = StrategyTwoLevel
+// familyFields maps each problem family to the payload fields it
+// reads; a request setting any other family's field is rejected so
+// typos and family mixups surface as 400s instead of silently ignored
+// payload.
+var familyFields = map[string]map[string]bool{
+	problem.FamilyMaxCut:    {"nodes": true, "edges": true, "weights": true},
+	problem.FamilyQUBO:      {"nodes": true, "linear": true, "quad": true, "offset": true, "sense": true, "vars": true},
+	problem.FamilyMaxKSAT:   {"vars": true, "clauses": true, "clause_weights": true},
+	problem.FamilyPartition: {"numbers": true},
+	problem.FamilyPortfolio: {"returns": true, "covariance": true, "risk_aversion": true, "budget": true, "penalty": true},
+	problem.FamilyColoring:  {"nodes": true, "edges": true, "colors": true},
+}
+
+// setPayloadFields lists the family-payload fields present in the
+// request (the always-valid solve options are not payload).
+func setPayloadFields(req *SolveRequest) []string {
+	var set []string
+	add := func(name string, ok bool) {
+		if ok {
+			set = append(set, name)
+		}
 	}
-	if req.Optimizer == "" {
-		req.Optimizer = "lbfgsb"
-	}
-	if req.Model == "" {
-		req.Model = "default"
-	}
-	if req.Seed == 0 {
-		req.Seed = 1
-	}
-	if optimizerFor(req.Optimizer) == nil {
-		return nil, badRequest("unknown optimizer %q (want lbfgsb, neldermead, slsqp or cobyla)", req.Optimizer)
-	}
+	add("nodes", req.Nodes != 0)
+	add("edges", len(req.Edges) > 0)
+	add("weights", req.Weights != nil)
+	add("linear", req.Linear != nil)
+	add("quad", len(req.Quad) > 0)
+	add("offset", req.Offset != 0)
+	add("sense", req.Sense != "")
+	add("vars", req.Vars != 0)
+	add("clauses", len(req.Clauses) > 0)
+	add("clause_weights", req.ClauseWeights != nil)
+	add("numbers", len(req.Numbers) > 0)
+	add("returns", len(req.Returns) > 0)
+	add("covariance", len(req.Covariance) > 0)
+	add("risk_aversion", req.RiskAversion != 0)
+	add("budget", req.Budget != 0)
+	add("penalty", req.Penalty != 0)
+	add("colors", req.Colors != 0)
+	return set
+}
+
+// requestGraph builds the nodes/edges/weights graph shared by the
+// maxcut and coloring families.
+func (s *Server) requestGraph(req *SolveRequest) (*graph.Graph, *httpError) {
 	if req.Nodes < 2 || req.Nodes > s.cfg.MaxNodes {
 		return nil, badRequest("nodes %d out of [2, %d]", req.Nodes, s.cfg.MaxNodes)
 	}
@@ -286,9 +371,6 @@ func (s *Server) normalize(req *SolveRequest) (*graph.Graph, *httpError) {
 	}
 	if req.Weights != nil && len(req.Weights) != len(req.Edges) {
 		return nil, badRequest("%d weights for %d edges", len(req.Weights), len(req.Edges))
-	}
-	if req.Depth < 1 || req.Depth > s.cfg.MaxDepth {
-		return nil, badRequest("depth %d out of [1, %d]", req.Depth, s.cfg.MaxDepth)
 	}
 	g := graph.New(req.Nodes)
 	for i, e := range req.Edges {
@@ -303,24 +385,149 @@ func (s *Server) normalize(req *SolveRequest) (*graph.Graph, *httpError) {
 			return nil, badRequest("edge %d: %v", i, err)
 		}
 	}
+	return g, nil
+}
+
+// requestSpec assembles the family payload into a problem.Spec.
+func (s *Server) requestSpec(req *SolveRequest) (problem.Spec, *httpError) {
+	var zero problem.Spec
+	allowed, ok := familyFields[req.Problem]
+	if !ok {
+		return zero, badRequest("unknown problem %q (want one of %v)", req.Problem, problem.Families())
+	}
+	for _, f := range setPayloadFields(req) {
+		if !allowed[f] {
+			return zero, badRequest("field %q is not valid for problem %q", f, req.Problem)
+		}
+	}
+	switch req.Problem {
+	case problem.FamilyMaxCut:
+		g, herr := s.requestGraph(req)
+		if herr != nil {
+			return zero, herr
+		}
+		return problem.MaxCut(g), nil
+	case problem.FamilyQUBO:
+		if req.Nodes < 1 {
+			return zero, badRequest("qubo needs nodes >= 1")
+		}
+		sense := req.Sense
+		if sense == "" {
+			sense = "min"
+		}
+		sn, err := problem.ParseSense(sense)
+		if err != nil {
+			return zero, badRequest("%v", err)
+		}
+		in := &problem.Instance{
+			Family: problem.FamilyQUBO,
+			Sense:  sn,
+			N:      req.Nodes,
+			Vars:   req.Vars,
+			Linear: req.Linear,
+			Offset: req.Offset,
+		}
+		if in.Vars == 0 {
+			in.Vars = in.N
+		}
+		for _, t := range req.Quad {
+			in.Quad = append(in.Quad, problem.Term{I: t.I, J: t.J, W: t.W})
+		}
+		return problem.FromInstance(in), nil
+	case problem.FamilyMaxKSAT:
+		f := &problem.Formula{Vars: req.Vars, Weights: req.ClauseWeights}
+		for _, cl := range req.Clauses {
+			f.Clauses = append(f.Clauses, problem.Clause(cl))
+		}
+		return problem.MaxKSAT(f), nil
+	case problem.FamilyPartition:
+		return problem.Partition(req.Numbers), nil
+	case problem.FamilyPortfolio:
+		return problem.Portfolio(&problem.PortfolioSpec{
+			Returns:      req.Returns,
+			Covariance:   req.Covariance,
+			RiskAversion: req.RiskAversion,
+			Budget:       req.Budget,
+			Penalty:      req.Penalty,
+		}), nil
+	case problem.FamilyColoring:
+		if req.Weights != nil {
+			return zero, badRequest("coloring takes no edge weights")
+		}
+		g, herr := s.requestGraph(req)
+		if herr != nil {
+			return zero, herr
+		}
+		if req.Colors < 2 {
+			return zero, badRequest("coloring needs colors >= 2, got %d", req.Colors)
+		}
+		return problem.Coloring(g, req.Colors), nil
+	}
+	return zero, badRequest("unknown problem %q (want one of %v)", req.Problem, problem.Families())
+}
+
+// normalize applies defaults and validates the request, returning the
+// compiled problem spec.
+func (s *Server) normalize(req *SolveRequest) (problem.Spec, *httpError) {
+	var zero problem.Spec
+	if req.Problem == "" {
+		req.Problem = problem.FamilyMaxCut
+	}
+	if req.Strategy == "" {
+		req.Strategy = StrategyTwoLevel
+	}
+	if req.Optimizer == "" {
+		req.Optimizer = "lbfgsb"
+	}
+	if req.Model == "" {
+		req.Model = "default"
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if optimizerFor(req.Optimizer) == nil {
+		return zero, badRequest("unknown optimizer %q (want lbfgsb, neldermead, slsqp or cobyla)", req.Optimizer)
+	}
+	if req.Depth < 1 || req.Depth > s.cfg.MaxDepth {
+		return zero, badRequest("depth %d out of [1, %d]", req.Depth, s.cfg.MaxDepth)
+	}
+	spec, herr := s.requestSpec(req)
+	if herr != nil {
+		return zero, herr
+	}
+	// Compile now so malformed payloads fail the request, not the job,
+	// and so the register cap covers auxiliary qubits (maxksat) and
+	// one-hot blowup (coloring: nodes·colors).
+	if req.Problem != problem.FamilyMaxCut {
+		qubits, err := spec.Qubits()
+		if err != nil {
+			return zero, badRequest("%v", err)
+		}
+		if qubits < 2 || qubits > s.cfg.MaxNodes {
+			return zero, badRequest("%s instance needs %d qubits, out of [2, %d]", req.Problem, qubits, s.cfg.MaxNodes)
+		}
+		if _, err := spec.Compile(); err != nil {
+			return zero, badRequest("%v", err)
+		}
+	}
 	switch req.Strategy {
 	case StrategyNaive:
 	case StrategyTwoLevel:
 		if req.Depth < 2 {
-			return nil, badRequest("two-level needs depth >= 2 (use strategy \"naive\" for depth 1)")
+			return zero, badRequest("two-level needs depth >= 2 (use strategy \"naive\" for depth 1)")
 		}
 		pred, ok := s.registry.Get(req.Model)
 		if !ok {
-			return nil, badRequest("unknown model %q (registered: %v)", req.Model, s.registry.Names())
+			return zero, badRequest("unknown model %q (registered: %v)", req.Model, s.registry.Names())
 		}
 		if !hasDepth(pred.TargetDepths(), req.Depth) {
-			return nil, badRequest("model %q not trained for target depth %d (trained: %v)",
+			return zero, badRequest("model %q not trained for target depth %d (trained: %v)",
 				req.Model, req.Depth, pred.TargetDepths())
 		}
 	default:
-		return nil, badRequest("unknown strategy %q (want %q or %q)", req.Strategy, StrategyNaive, StrategyTwoLevel)
+		return zero, badRequest("unknown strategy %q (want %q or %q)", req.Strategy, StrategyNaive, StrategyTwoLevel)
 	}
-	return g, nil
+	return spec, nil
 }
 
 func hasDepth(depths []int, d int) bool {
@@ -336,8 +543,13 @@ func hasDepth(depths []int, d int) bool {
 // finished job, an identical in-flight request is coalesced, otherwise a
 // fresh job is enqueued. A full queue returns 429; a draining server
 // returns 503.
-func (s *Server) submit(req SolveRequest, g *graph.Graph) (*Job, submitOutcome, *httpError) {
-	key := solveKey(g.Fingerprint(), req)
+func (s *Server) submit(req SolveRequest, spec problem.Spec) (*Job, submitOutcome, *httpError) {
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		// normalize compiled the spec already; a failure here is a bug.
+		return nil, 0, &httpError{code: http.StatusInternalServerError, msg: err.Error()}
+	}
+	key := solveKey(fp, req)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -368,7 +580,7 @@ func (s *Server) submit(req SolveRequest, g *graph.Graph) (*Job, submitOutcome, 
 	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 	job := &Job{
-		ID: s.jobs.nextID(), Key: key, req: req, g: g,
+		ID: s.jobs.nextID(), Key: key, req: req, spec: spec, fp: fp,
 		ctx: ctx, cancel: cancel, done: make(chan struct{}),
 		state: StateQueued, enqueued: time.Now(),
 	}
@@ -475,24 +687,24 @@ func cancelMsg(ctx context.Context) string {
 // server sink, so optimizer counters (optimize.fev_total etc.) surface
 // in /metrics — including the fact that a cache hit adds none.
 func (s *Server) runSolve(ctx context.Context, job *Job) (*SolveResult, error) {
-	pb, err := qaoa.NewProblem(job.g)
+	pb, err := qaoa.New(job.spec)
 	if err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(job.req.Seed))
 	opt := optimizerFor(job.req.Optimizer)
-	fp := job.g.Fingerprint()
+	var res *SolveResult
 	switch job.req.Strategy {
 	case StrategyNaive:
 		r, err := core.NaiveRunCtx(ctx, pb, job.req.Depth, opt, rng, s.mem)
 		if err != nil {
 			return nil, err
 		}
-		return &SolveResult{
+		res = &SolveResult{
 			Strategy: StrategyNaive, AR: r.AR,
 			Gamma: r.Params.Gamma, Beta: r.Params.Beta,
-			NFev: r.NFev, Fingerprint: fp,
-		}, nil
+			NFev: r.NFev,
+		}
 	case StrategyTwoLevel:
 		pred, ok := s.registry.Get(job.req.Model)
 		if !ok {
@@ -502,13 +714,37 @@ func (s *Server) runSolve(ctx context.Context, job *Job) (*SolveResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &SolveResult{
+		res = &SolveResult{
 			Strategy: StrategyTwoLevel, AR: r.AR(),
 			Gamma: r.Level2.Params.Gamma, Beta: r.Level2.Params.Beta,
-			NFev: r.TotalNFev, Level1AR: r.Level1.AR, Fingerprint: fp,
-		}, nil
+			NFev: r.TotalNFev, Level1AR: r.Level1.AR,
+		}
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", job.req.Strategy)
 	}
-	return nil, fmt.Errorf("unknown strategy %q", job.req.Strategy)
+	res.Problem = job.req.Problem
+	res.Fingerprint = job.fp
+	// Read out the most probable assignment at the final parameters —
+	// the solution a client acts on — masked to the decision variables
+	// (quadratization auxiliaries are an encoding detail).
+	score, assign := pb.BestSampled(qaoa.Params{Gamma: res.Gamma, Beta: res.Beta})
+	res.Objective = score
+	vars := pb.NumQubits()
+	if pb.Inst != nil {
+		vars = pb.Inst.Vars
+	}
+	res.Assignment = assignBits(assign, vars)
+	return res, nil
+}
+
+// assignBits renders an assignment as a bitstring, character i = the
+// value of variable i.
+func assignBits(z uint64, vars int) string {
+	b := make([]byte, vars)
+	for i := 0; i < vars; i++ {
+		b[i] = byte('0' + (z>>uint(i))&1)
+	}
+	return string(b)
 }
 
 // optimizerFor maps an API optimizer name to a configured instance (the
@@ -557,16 +793,21 @@ func writeError(w http.ResponseWriter, e *httpError) {
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	dec := json.NewDecoder(body)
+	// Unknown keys are rejected, not ignored: with per-family payloads a
+	// silently dropped field would solve a different instance than the
+	// client thinks it submitted.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
 		writeError(w, badRequest("decoding request: %v", err))
 		return
 	}
-	g, herr := s.normalize(&req)
+	spec, herr := s.normalize(&req)
 	if herr != nil {
 		writeError(w, herr)
 		return
 	}
-	job, outcome, herr := s.submit(req, g)
+	job, outcome, herr := s.submit(req, spec)
 	if herr != nil {
 		writeError(w, herr)
 		return
@@ -626,6 +867,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, code, map[string]any{
 		"status":      status,
+		"api_version": APIVersion,
+		"problems":    problem.Families(),
 		"queue_depth": queued,
 		"workers":     s.cfg.Workers,
 		"models":      s.registry.Names(),
