@@ -8,12 +8,15 @@
 // wall-clock benchmarks time end-to-end dataset generation and the
 // Table I experiment, reporting objective evaluations per second.
 //
-// The large-register suite (expectation/n16..n26, grad/n20-p3) streams
-// the cost Hamiltonian from the edge list (no 2^n tables) and is
-// recorded once per -cpu GOMAXPROCS setting, so scaling across worker
-// counts is visible in one file: entries measured above one worker
-// carry speedup_vs_serial and parallel_efficiency columns computed
-// against the matching serial entry. The problem-family suite
+// The large-register suite (expectation/n16..n30, grad/n20-p3,
+// grad/n28-p1) streams the cost Hamiltonian from the edge list (no 2^n
+// tables) and is recorded once per -cpu GOMAXPROCS setting, so scaling
+// across worker counts is visible in one file: entries measured above
+// one worker carry speedup_vs_serial and parallel_efficiency columns
+// computed against the matching serial entry. Registers at or above
+// the qaoa.ShardThreshold run over the sharded state layout (the
+// shards column records the count) and every large-n entry reports
+// peak_bytes, the live amplitude storage its workspace held. The problem-family suite
 // (ising/n20, maxksat/n20) times the generalized diagonal-Hamiltonian
 // streaming kernel — linear terms and Rosenberg auxiliaries included —
 // at the same register size and -cpu settings.
@@ -51,6 +54,7 @@ import (
 	"qaoaml/internal/optimize"
 	"qaoaml/internal/problem"
 	"qaoaml/internal/qaoa"
+	"qaoaml/internal/quantum"
 	"qaoaml/internal/telemetry"
 )
 
@@ -67,6 +71,12 @@ type Entry struct {
 	NGev        int     `json:"ngev,omitempty"`    // analytic gradient evaluations
 	EvalsPerSec float64 `json:"evals_per_sec,omitempty"`
 	FinalF      float64 `json:"final_f,omitempty"` // converged objective (e2e benches)
+	// Shards is the state-vector shard count the entry ran over (absent
+	// = flat layout); PeakBytes is the live amplitude storage the
+	// workspace held — the AmpBytesAllocated delta across workspace
+	// construction and the first (buffer-allocating) evaluation.
+	Shards    int   `json:"shards,omitempty"`
+	PeakBytes int64 `json:"peak_bytes,omitempty"`
 	// SpeedupVsSerial and ParallelEfficiency are derived after the
 	// merge for entries measured above one worker, against the entry
 	// with the same name at GOMAXPROCS 1 (speedup = serial ns / this
@@ -293,31 +303,48 @@ func main() {
 	prevProcs := runtime.GOMAXPROCS(0)
 	for _, nc := range cpus {
 		runtime.GOMAXPROCS(nc)
-		for _, n := range []int{16, 20, 22, 24, 26} {
+		for _, n := range []int{16, 20, 22, 24, 26, 28, 30} {
 			name := fmt.Sprintf("expectation/n%d", n)
 			if !benchMatch(name) {
 				continue
 			}
-			ev := qaoa.NewEvaluator(largeProblem(n), 1)
+			base := quantum.AmpBytesAllocated()
+			ws := largeProblem(n).NewWorkspace() // sharded above ShardThreshold
 			x := []float64{0.4, 0.3}
-			_ = ev.NegExpectation(x) // warm the 2^n workspace
-			rep.add(name, bench(func(b *testing.B) {
+			_ = ws.ExpectationVec(x) // warm the 2^n workspace
+			e := bench(func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					_ = ev.NegExpectation(x)
+					_ = ws.ExpectationVec(x)
 				}
-			}))
+			})
+			e.Shards = ws.Shards()
+			e.PeakBytes = quantum.AmpBytesAllocated() - base
+			rep.add(name, e)
+			ws.Close()
 		}
-		if benchMatch("grad/n20-p3") {
-			ev := qaoa.NewEvaluator(largeProblem(20), 3)
-			x := []float64{0.4, 0.7, 0.9, 0.5, 0.3, 0.2}
+		// Adjoint value+gradient: the n=20 p=3 flat sweep and the n=28
+		// depth-1 sweep over the sharded layout (two shard sets live: the
+		// state and its adjoint).
+		gradEntry := func(name string, n int, x []float64) {
+			if !benchMatch(name) {
+				return
+			}
+			base := quantum.AmpBytesAllocated()
+			ws := largeProblem(n).NewWorkspace()
 			grad := make([]float64, len(x))
-			_ = ev.NegValueGrad(x, grad)
-			rep.add("grad/n20-p3", bench(func(b *testing.B) {
+			_ = ws.ValueGrad(x, grad) // warm, allocates the adjoint buffer
+			e := bench(func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					_ = ev.NegValueGrad(x, grad)
+					_ = ws.ValueGrad(x, grad)
 				}
-			}))
+			})
+			e.Shards = ws.Shards()
+			e.PeakBytes = quantum.AmpBytesAllocated() - base
+			rep.add(name, e)
+			ws.Close()
 		}
+		gradEntry("grad/n20-p3", 20, []float64{0.4, 0.7, 0.9, 0.5, 0.3, 0.2})
+		gradEntry("grad/n28-p1", 28, []float64{0.4, 0.3})
 		for _, name := range []string{"ising/n20", "maxksat/n20"} {
 			if !benchMatch(name) {
 				continue
@@ -608,9 +635,12 @@ func (r *Report) add(name string, e Entry) {
 	e.Name = name
 	e.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	r.Entries = append(r.Entries, e)
-	if e.NFev > 0 {
+	switch {
+	case e.NFev > 0:
 		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op  %8d nfev  %10.0f evals/s\n", name, e.NsPerOp, e.NFev, e.EvalsPerSec)
-	} else {
+	case e.Shards > 1:
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op  %4d allocs/op  [%d cpu, %d shards]\n", name, e.NsPerOp, e.AllocsPerOp, e.GOMAXPROCS, e.Shards)
+	default:
 		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op  %4d allocs/op  [%d cpu]\n", name, e.NsPerOp, e.AllocsPerOp, e.GOMAXPROCS)
 	}
 }

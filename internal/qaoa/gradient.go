@@ -2,6 +2,7 @@ package qaoa
 
 import (
 	"fmt"
+	"math/bits"
 
 	"qaoaml/internal/quantum"
 )
@@ -57,6 +58,9 @@ func (w *EvalWorkspace) Gradient(x, grad []float64) { w.ValueGrad(x, grad) }
 // elements) go through the costKernel interface, so the same sweep
 // drives the materialized small-n path and the streaming large-n path.
 func (w *EvalWorkspace) valueGrad(gamma, beta, dGamma, dBeta []float64) float64 {
+	if w.ss != nil {
+		return w.valueGradSharded(gamma, beta, dGamma, dBeta)
+	}
 	k := w.k
 	if w.adj == nil {
 		// One-time adjoint buffers and dispatch closures; every later
@@ -64,16 +68,16 @@ func (w *EvalWorkspace) valueGrad(gamma, beta, dGamma, dBeta []float64) float64 
 		w.adj = w.state.Clone()
 		w.adjRunner = quantum.NewLayerRunner(w.adj)
 		w.seedBody = func(lo, hi int) (float64, float64) {
-			return k.seedChunkValue(w.adj, w.state, lo, hi), 0
+			return k.seedChunkValue(w.adj, w.state, 0, lo, hi), 0
 		}
 		w.genBody = func(lo, hi int) (float64, float64) {
-			return k.genInnerChunk(w.adj, w.state, lo, hi)
+			return k.genInnerChunk(w.adj, w.state, 0, lo, hi)
 		}
 		w.sumXBody = func(lo, hi int) (float64, float64) {
 			return quantum.InnerProductSumXRange(w.adj, w.state, lo, hi)
 		}
 		w.unphaseBoth = func(lo, hi int) {
-			k.applyPhase2Range(w.state, w.adj, w.factors, w.gamma, w.conj, lo, hi)
+			k.applyPhase2Range(w.state, w.adj, w.factors, w.gamma, w.conj, 0, lo, hi)
 		}
 	}
 	dim := w.state.Dim()
@@ -106,6 +110,60 @@ func (w *EvalWorkspace) valueGrad(gamma, beta, dGamma, dBeta []float64) float64 
 		w.k.prepareFactors(w.factors, gamma[s], true)
 		w.gamma, w.conj = gamma[s], true
 		quantum.ForEachChunk(dim, w.unphaseBoth)
+	}
+	return val
+}
+
+// valueGradSharded is the reverse sweep over the sharded state layout:
+// the same stage structure as the flat sweep, with reductions and
+// un-apply passes driven by the ShardedState's per-shard workers over
+// the same global chunk geometry. Sharded chunk bodies receive global
+// bounds and map them onto the owning shard; the partial merge order
+// and per-chunk arithmetic are unchanged, so value and gradient are
+// bit-identical to the flat sweep.
+func (w *EvalWorkspace) valueGradSharded(gamma, beta, dGamma, dBeta []float64) float64 {
+	k := w.k
+	if w.adjSS == nil {
+		// The seed pass overwrites every adjoint chunk, so a fresh
+		// (zeroed) shard set is a valid starting point.
+		w.adjSS = quantum.NewShardedState(w.ss.NumQubits(), bits.Len(uint(w.ss.NumShards()-1)))
+		sdim := w.ss.ShardDim()
+		w.seedShard = func(lo, hi int) (float64, float64) {
+			off := lo &^ (sdim - 1)
+			si := lo >> w.sbits
+			return k.seedChunkValue(w.adjSS.Shard(si), w.ss.Shard(si), off, lo-off, hi-off), 0
+		}
+		w.genShard = func(lo, hi int) (float64, float64) {
+			off := lo &^ (sdim - 1)
+			si := lo >> w.sbits
+			return k.genInnerChunk(w.adjSS.Shard(si), w.ss.Shard(si), off, lo-off, hi-off)
+		}
+		w.sumXShard = func(lo, hi int) (float64, float64) {
+			return quantum.ShardedSumXRange(w.adjSS, w.ss, lo, hi)
+		}
+		w.unphaseShard = func(lo, hi int) {
+			off := lo &^ (sdim - 1)
+			si := lo >> w.sbits
+			k.applyPhase2Range(w.ss.Shard(si), w.adjSS.Shard(si), w.factors, w.gamma, w.conj, off, lo-off, hi-off)
+		}
+	}
+
+	w.runLayersSharded(gamma, beta)
+	val, _ := w.ss.Reduce(w.seedShard)
+
+	for s := len(gamma) - 1; s >= 0; s-- {
+		_, im := w.ss.Reduce(w.sumXShard)
+		dBeta[s] = 2 * im
+
+		w.ss.Layer(-2*beta[s], false, nil)
+		w.adjSS.Layer(-2*beta[s], false, nil)
+
+		_, gim := w.ss.Reduce(w.genShard)
+		dGamma[s] = -2 * gim
+
+		w.k.prepareFactors(w.factors, gamma[s], true)
+		w.gamma, w.conj = gamma[s], true
+		w.ss.ForEach(w.unphaseShard)
 	}
 	return val
 }

@@ -45,8 +45,10 @@ import (
 
 // isingStreamKernel evaluates an arbitrary diagonal Hamiltonian from
 // its term lists. Immutable after construction; scratch comes from the
-// shared streamScratchPool.
+// kernel's own bounded freelist.
 type isingStreamKernel struct {
+	scratch scratchList
+
 	n           int
 	sense       float64 // +1 maximize, −1 minimize
 	senseOffset float64 // sense·Offset: the constant part of Score
@@ -79,6 +81,7 @@ type isingStreamKernel struct {
 // newIsingStreamKernel builds the streaming kernel for an instance.
 func newIsingStreamKernel(in *problem.Instance) *isingStreamKernel {
 	k := &isingStreamKernel{
+		scratch:     newScratchList(),
 		n:           in.N,
 		sense:       in.Sense.Sign(),
 		senseOffset: in.Sense.Sign() * in.Offset,
@@ -378,11 +381,11 @@ func (k *isingStreamKernel) prepareFactors(factors []complex128, gamma float64, 
 	}
 }
 
-func (k *isingStreamKernel) applyPhaseRange(st *quantum.State, factors []complex128, gamma float64, conj bool, lo, hi int) {
-	ws := streamScratchPool.Get().(*streamScratch)
+func (k *isingStreamKernel) applyPhaseRange(st *quantum.State, factors []complex128, gamma float64, conj bool, off, lo, hi int) {
+	ws := k.scratch.get()
 	if k.integer {
 		idx := ws.idxBuf(hi - lo)
-		k.fillIdx(lo, hi, idx)
+		k.fillIdx(off+lo, off+hi, idx)
 		st.MulDiagonalIndexedRange(lo, idx, factors)
 	} else {
 		scale := gamma
@@ -390,17 +393,17 @@ func (k *isingStreamKernel) applyPhaseRange(st *quantum.State, factors []complex
 			scale = -gamma
 		}
 		gen := ws.genBuf(hi - lo)
-		k.fillGen(lo, hi, gen)
+		k.fillGen(off+lo, off+hi, gen)
 		st.MulPhaseGenRange(lo, gen, scale)
 	}
-	streamScratchPool.Put(ws)
+	k.scratch.put(ws)
 }
 
-func (k *isingStreamKernel) applyPhase2Range(a, b *quantum.State, factors []complex128, gamma float64, conj bool, lo, hi int) {
-	ws := streamScratchPool.Get().(*streamScratch)
+func (k *isingStreamKernel) applyPhase2Range(a, b *quantum.State, factors []complex128, gamma float64, conj bool, off, lo, hi int) {
+	ws := k.scratch.get()
 	if k.integer {
 		idx := ws.idxBuf(hi - lo)
-		k.fillIdx(lo, hi, idx)
+		k.fillIdx(off+lo, off+hi, idx)
 		a.MulDiagonalIndexedRange(lo, idx, factors)
 		b.MulDiagonalIndexedRange(lo, idx, factors)
 	} else {
@@ -409,36 +412,36 @@ func (k *isingStreamKernel) applyPhase2Range(a, b *quantum.State, factors []comp
 			scale = -gamma
 		}
 		gen := ws.genBuf(hi - lo)
-		k.fillGen(lo, hi, gen)
+		k.fillGen(off+lo, off+hi, gen)
 		a.MulPhaseGenRange(lo, gen, scale)
 		b.MulPhaseGenRange(lo, gen, scale)
 	}
-	streamScratchPool.Put(ws)
+	k.scratch.put(ws)
 }
 
-func (k *isingStreamKernel) expectChunk(st *quantum.State, lo, hi int) float64 {
-	ws := streamScratchPool.Get().(*streamScratch)
+func (k *isingStreamKernel) expectChunk(st *quantum.State, off, lo, hi int) float64 {
+	ws := k.scratch.get()
 	score := ws.genBuf(hi - lo)
-	k.fillScore(lo, hi, score)
+	k.fillScore(off+lo, off+hi, score)
 	e := st.ExpectationDiagonalRange(lo, score)
-	streamScratchPool.Put(ws)
+	k.scratch.put(ws)
 	return e
 }
 
-func (k *isingStreamKernel) seedChunkValue(adj, st *quantum.State, lo, hi int) float64 {
-	ws := streamScratchPool.Get().(*streamScratch)
+func (k *isingStreamKernel) seedChunkValue(adj, st *quantum.State, off, lo, hi int) float64 {
+	ws := k.scratch.get()
 	score := ws.genBuf(hi - lo)
-	k.fillScore(lo, hi, score)
+	k.fillScore(off+lo, off+hi, score)
 	e := adj.SeedDiagonalRange(st, lo, score)
-	streamScratchPool.Put(ws)
+	k.scratch.put(ws)
 	return e
 }
 
-func (k *isingStreamKernel) genInnerChunk(adj, st *quantum.State, lo, hi int) (re, im float64) {
-	ws := streamScratchPool.Get().(*streamScratch)
+func (k *isingStreamKernel) genInnerChunk(adj, st *quantum.State, off, lo, hi int) (re, im float64) {
+	ws := k.scratch.get()
 	gen := ws.genBuf(hi - lo)
-	k.fillGen(lo, hi, gen)
+	k.fillGen(off+lo, off+hi, gen)
 	re, im = adj.InnerProductDiagonalRange(st, lo, gen)
-	streamScratchPool.Put(ws)
+	k.scratch.put(ws)
 	return re, im
 }

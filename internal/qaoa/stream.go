@@ -3,7 +3,6 @@ package qaoa
 import (
 	"math"
 	"math/bits"
-	"sync"
 
 	"qaoaml/internal/graph"
 	"qaoaml/internal/quantum"
@@ -69,8 +68,10 @@ const maxStreamChunkBits = 16
 
 // streamKernel evaluates the MaxCut phase separator and observable
 // directly from the edge list. It is immutable after construction and
-// safe for concurrent use (scratch comes from a pool).
+// safe for concurrent use (scratch comes from a per-kernel freelist).
 type streamKernel struct {
+	scratch scratchList
+
 	n  int
 	m  float64 // total edge weight
 	cb int     // chunk width in bits: log2(min(ChunkLen(2^n), 2^n))
@@ -101,7 +102,7 @@ type streamKernel struct {
 // is the problem's TotalWeight (kept explicit so the phase convention
 // matches the materialized kernel exactly).
 func newStreamKernel(g *graph.Graph, totalWeight float64) *streamKernel {
-	k := &streamKernel{n: g.N, m: totalWeight}
+	k := &streamKernel{scratch: newScratchList(), n: g.N, m: totalWeight}
 	dim := 1 << uint(g.N)
 	clen := quantum.ChunkLen(dim)
 	if clen > dim {
@@ -217,7 +218,36 @@ type streamScratch struct {
 	gen []float64
 }
 
-var streamScratchPool = sync.Pool{New: func() any { return new(streamScratch) }}
+// scratchList recycles chunk scratch through a bounded channel, one
+// list per kernel. The previous global sync.Pool had per-P caches that
+// every GC cleared, so long runs re-allocated scratch once per P per GC
+// cycle — bytes/op grew with GOMAXPROCS (the n=20 parallel regression
+// BENCH_qaoa.json recorded). A channel freelist survives GC and is
+// shared across Ps: in steady state at most maxPoolWorkers buffers
+// circulate and warm chunk bodies allocate nothing.
+type scratchList struct {
+	ch chan *streamScratch
+}
+
+func newScratchList() scratchList {
+	return scratchList{ch: make(chan *streamScratch, 64)}
+}
+
+func (l scratchList) get() *streamScratch {
+	select {
+	case ws := <-l.ch:
+		return ws
+	default:
+		return new(streamScratch)
+	}
+}
+
+func (l scratchList) put(ws *streamScratch) {
+	select {
+	case l.ch <- ws:
+	default:
+	}
+}
 
 func (ws *streamScratch) idxBuf(n int) []int32 {
 	if cap(ws.idx) < n {
@@ -389,11 +419,11 @@ func (k *streamKernel) prepareFactors(factors []complex128, gamma float64, conj 
 	}
 }
 
-func (k *streamKernel) applyPhaseRange(st *quantum.State, factors []complex128, gamma float64, conj bool, lo, hi int) {
-	ws := streamScratchPool.Get().(*streamScratch)
+func (k *streamKernel) applyPhaseRange(st *quantum.State, factors []complex128, gamma float64, conj bool, off, lo, hi int) {
+	ws := k.scratch.get()
 	if k.integer {
 		idx := ws.idxBuf(hi - lo)
-		k.fillIdx(lo, hi, idx)
+		k.fillIdx(off+lo, off+hi, idx)
 		st.MulDiagonalIndexedRange(lo, idx, factors)
 	} else {
 		scale := gamma
@@ -401,17 +431,17 @@ func (k *streamKernel) applyPhaseRange(st *quantum.State, factors []complex128, 
 			scale = -gamma
 		}
 		gen := ws.genBuf(hi - lo)
-		k.fillGen(lo, hi, gen)
+		k.fillGen(off+lo, off+hi, gen)
 		st.MulPhaseGenRange(lo, gen, scale)
 	}
-	streamScratchPool.Put(ws)
+	k.scratch.put(ws)
 }
 
-func (k *streamKernel) applyPhase2Range(a, b *quantum.State, factors []complex128, gamma float64, conj bool, lo, hi int) {
-	ws := streamScratchPool.Get().(*streamScratch)
+func (k *streamKernel) applyPhase2Range(a, b *quantum.State, factors []complex128, gamma float64, conj bool, off, lo, hi int) {
+	ws := k.scratch.get()
 	if k.integer {
 		idx := ws.idxBuf(hi - lo)
-		k.fillIdx(lo, hi, idx)
+		k.fillIdx(off+lo, off+hi, idx)
 		a.MulDiagonalIndexedRange(lo, idx, factors)
 		b.MulDiagonalIndexedRange(lo, idx, factors)
 	} else {
@@ -420,36 +450,36 @@ func (k *streamKernel) applyPhase2Range(a, b *quantum.State, factors []complex12
 			scale = -gamma
 		}
 		gen := ws.genBuf(hi - lo)
-		k.fillGen(lo, hi, gen)
+		k.fillGen(off+lo, off+hi, gen)
 		a.MulPhaseGenRange(lo, gen, scale)
 		b.MulPhaseGenRange(lo, gen, scale)
 	}
-	streamScratchPool.Put(ws)
+	k.scratch.put(ws)
 }
 
-func (k *streamKernel) expectChunk(st *quantum.State, lo, hi int) float64 {
-	ws := streamScratchPool.Get().(*streamScratch)
+func (k *streamKernel) expectChunk(st *quantum.State, off, lo, hi int) float64 {
+	ws := k.scratch.get()
 	cut := ws.genBuf(hi - lo)
-	k.fillCut(lo, hi, cut)
+	k.fillCut(off+lo, off+hi, cut)
 	e := st.ExpectationDiagonalRange(lo, cut)
-	streamScratchPool.Put(ws)
+	k.scratch.put(ws)
 	return e
 }
 
-func (k *streamKernel) seedChunkValue(adj, st *quantum.State, lo, hi int) float64 {
-	ws := streamScratchPool.Get().(*streamScratch)
+func (k *streamKernel) seedChunkValue(adj, st *quantum.State, off, lo, hi int) float64 {
+	ws := k.scratch.get()
 	cut := ws.genBuf(hi - lo)
-	k.fillCut(lo, hi, cut)
+	k.fillCut(off+lo, off+hi, cut)
 	e := adj.SeedDiagonalRange(st, lo, cut)
-	streamScratchPool.Put(ws)
+	k.scratch.put(ws)
 	return e
 }
 
-func (k *streamKernel) genInnerChunk(adj, st *quantum.State, lo, hi int) (re, im float64) {
-	ws := streamScratchPool.Get().(*streamScratch)
+func (k *streamKernel) genInnerChunk(adj, st *quantum.State, off, lo, hi int) (re, im float64) {
+	ws := k.scratch.get()
 	gen := ws.genBuf(hi - lo)
-	k.fillGen(lo, hi, gen)
+	k.fillGen(off+lo, off+hi, gen)
 	re, im = adj.InnerProductDiagonalRange(st, lo, gen)
-	streamScratchPool.Put(ws)
+	k.scratch.put(ws)
 	return re, im
 }

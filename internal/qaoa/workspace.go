@@ -3,6 +3,7 @@ package qaoa
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 
 	"qaoaml/internal/quantum"
@@ -62,24 +63,32 @@ type costKernel interface {
 	// (conjugated to un-apply). Called once per stage, before the
 	// chunked phase application.
 	prepareFactors(factors []complex128, gamma float64, conj bool)
+	// Every per-chunk method takes an offset/range pair: [lo, hi) indexes
+	// the passed State's amplitudes, off+lo…off+hi is the corresponding
+	// GLOBAL basis-state range (for cost tables and streamed fills). The
+	// flat path passes off = 0; the sharded path (shard states of a
+	// quantum.ShardedState) passes the shard's base index. Chunk bounds
+	// follow the fixed global geometry either way, so the two paths
+	// generate identical per-chunk values.
+
 	// applyPhaseRange applies the phase separator to st over one chunk.
 	// gamma and conj repeat the prepareFactors arguments for kernels
 	// that stream phases without a factor table.
-	applyPhaseRange(st *quantum.State, factors []complex128, gamma float64, conj bool, lo, hi int)
+	applyPhaseRange(st *quantum.State, factors []complex128, gamma float64, conj bool, off, lo, hi int)
 	// applyPhase2Range applies the phase separator to two states over
 	// one chunk, generating the chunk's diagonal once. The adjoint
 	// reverse sweep un-applies each stage from both states.
-	applyPhase2Range(a, b *quantum.State, factors []complex128, gamma float64, conj bool, lo, hi int)
+	applyPhase2Range(a, b *quantum.State, factors []complex128, gamma float64, conj bool, off, lo, hi int)
 	// expectChunk returns one chunk's contribution to ⟨st|C|st⟩.
-	expectChunk(st *quantum.State, lo, hi int) float64
+	expectChunk(st *quantum.State, off, lo, hi int) float64
 	// seedChunkValue overwrites adj's chunk with (C|st⟩)'s and returns
 	// the chunk's contribution to ⟨st|C|st⟩, with the exact summation
 	// order of expectChunk — so a fused value+seed pass stays
 	// bit-identical to a plain expectation.
-	seedChunkValue(adj, st *quantum.State, lo, hi int) float64
+	seedChunkValue(adj, st *quantum.State, off, lo, hi int) float64
 	// genInnerChunk returns one chunk's contribution to ⟨adj|H_γ|st⟩ in
 	// split real/imag form.
-	genInnerChunk(adj, st *quantum.State, lo, hi int) (re, im float64)
+	genInnerChunk(adj, st *quantum.State, off, lo, hi int) (re, im float64)
 }
 
 // diagKernel is the immutable per-problem precomputation: the cost
@@ -202,26 +211,40 @@ func (k *diagKernel) prepareFactors(factors []complex128, gamma float64, conj bo
 	}
 }
 
-func (k *diagKernel) applyPhaseRange(st *quantum.State, factors []complex128, _ float64, _ bool, lo, hi int) {
-	st.MulDiagonalIndexedRange(lo, k.idx[lo:hi], factors)
+func (k *diagKernel) applyPhaseRange(st *quantum.State, factors []complex128, _ float64, _ bool, off, lo, hi int) {
+	st.MulDiagonalIndexedRange(lo, k.idx[off+lo:off+hi], factors)
 }
 
-func (k *diagKernel) applyPhase2Range(a, b *quantum.State, factors []complex128, _ float64, _ bool, lo, hi int) {
-	a.MulDiagonalIndexedRange(lo, k.idx[lo:hi], factors)
-	b.MulDiagonalIndexedRange(lo, k.idx[lo:hi], factors)
+func (k *diagKernel) applyPhase2Range(a, b *quantum.State, factors []complex128, _ float64, _ bool, off, lo, hi int) {
+	a.MulDiagonalIndexedRange(lo, k.idx[off+lo:off+hi], factors)
+	b.MulDiagonalIndexedRange(lo, k.idx[off+lo:off+hi], factors)
 }
 
-func (k *diagKernel) expectChunk(st *quantum.State, lo, hi int) float64 {
-	return st.ExpectationDiagonalRange(lo, k.diag[lo:hi])
+func (k *diagKernel) expectChunk(st *quantum.State, off, lo, hi int) float64 {
+	return st.ExpectationDiagonalRange(lo, k.diag[off+lo:off+hi])
 }
 
-func (k *diagKernel) seedChunkValue(adj, st *quantum.State, lo, hi int) float64 {
-	return adj.SeedDiagonalRange(st, lo, k.diag[lo:hi])
+func (k *diagKernel) seedChunkValue(adj, st *quantum.State, off, lo, hi int) float64 {
+	return adj.SeedDiagonalRange(st, lo, k.diag[off+lo:off+hi])
 }
 
-func (k *diagKernel) genInnerChunk(adj, st *quantum.State, lo, hi int) (re, im float64) {
-	return adj.InnerProductDiagonalRange(st, lo, k.gen[lo:hi])
+func (k *diagKernel) genInnerChunk(adj, st *quantum.State, off, lo, hi int) (re, im float64) {
+	return adj.InnerProductDiagonalRange(st, lo, k.gen[off+lo:off+hi])
 }
+
+// ShardThreshold is the register width from which NewWorkspace switches
+// the evaluation state to the sharded representation (quantum.
+// ShardedState): at n ≥ 27 a single flat allocation is ≥ 2 GiB, the
+// regime where per-worker shard ownership pays for itself. The sharded
+// path computes bit-identical results; the threshold only picks the
+// memory layout.
+const ShardThreshold = 27
+
+// DefaultShardBits is the shard count exponent NewWorkspace uses above
+// ShardThreshold: 2^2 = 4 shards keeps per-shard allocations ≤ 2 GiB
+// through n = 30 while the exchange passes stay a small fraction of a
+// layer.
+const DefaultShardBits = 2
 
 // EvalWorkspace owns the preallocated buffers one evaluation stream
 // needs: the state vector, the distinct-phase factor table, the fused
@@ -229,6 +252,11 @@ func (k *diagKernel) genInnerChunk(adj, st *quantum.State, lo, hi int) (re, im f
 // so warm evaluations construct no closures and allocate nothing). A
 // workspace is not safe for concurrent use; create one per goroutine
 // (BatchEvaluator does exactly that).
+//
+// Above ShardThreshold the state lives in a quantum.ShardedState (ss
+// non-nil) and the sharded driver paths run instead; results are
+// bit-identical either way. Call Close on sharded workspaces to release
+// the shard workers promptly (a finalizer backs it up).
 type EvalWorkspace struct {
 	k       costKernel
 	state   *quantum.State
@@ -253,9 +281,23 @@ type EvalWorkspace struct {
 	seedBody    func(lo, hi int) (a, b float64)
 	genBody     func(lo, hi int) (a, b float64)
 	sumXBody    func(lo, hi int) (a, b float64)
+
+	// Sharded-path state and closures (nil/unset on the flat path).
+	ss    *quantum.ShardedState
+	adjSS *quantum.ShardedState
+	sbits uint // log2(shard dim), for global→shard index mapping
+
+	phaseShard   func(off, lo, hi int)
+	expectShard  func(lo, hi int) (a, b float64)
+	unphaseShard func(lo, hi int)
+	seedShard    func(lo, hi int) (a, b float64)
+	genShard     func(lo, hi int) (a, b float64)
+	sumXShard    func(lo, hi int) (a, b float64)
 }
 
 // NewWorkspace returns a reusable evaluation workspace for the problem.
+// At ShardThreshold qubits and above the state is sharded
+// (DefaultShardBits); results are identical to the flat representation.
 func (pb *Problem) NewWorkspace() *EvalWorkspace {
 	return newWorkspace(pb.kernel())
 }
@@ -265,7 +307,23 @@ func (dp *DiagonalProblem) NewWorkspace() *EvalWorkspace {
 	return newWorkspace(dp.kernel())
 }
 
+// NewWorkspaceShards returns a workspace whose state is split into
+// 2^shardBits shards regardless of size (0 = flat layout in a one-shard
+// ShardedState). Evaluation results are bit-identical to NewWorkspace;
+// only the memory layout and worker ownership change. Callers should
+// Close the workspace when done.
+func (pb *Problem) NewWorkspaceShards(shardBits int) *EvalWorkspace {
+	return newShardedWorkspace(pb.kernel(), shardBits)
+}
+
 func newWorkspace(k costKernel) *EvalWorkspace {
+	if k.qubits() >= ShardThreshold {
+		return newShardedWorkspace(k, DefaultShardBits)
+	}
+	return newFlatWorkspace(k)
+}
+
+func newFlatWorkspace(k costKernel) *EvalWorkspace {
 	w := &EvalWorkspace{
 		k:       k,
 		state:   quantum.NewUniformState(k.qubits()),
@@ -273,18 +331,65 @@ func newWorkspace(k costKernel) *EvalWorkspace {
 	}
 	w.runner = quantum.NewLayerRunner(w.state)
 	w.phaseState = func(lo, hi int) {
-		k.applyPhaseRange(w.state, w.factors, w.gamma, w.conj, lo, hi)
+		k.applyPhaseRange(w.state, w.factors, w.gamma, w.conj, 0, lo, hi)
 	}
 	w.expectBody = func(lo, hi int) (float64, float64) {
-		return k.expectChunk(w.state, lo, hi), 0
+		return k.expectChunk(w.state, 0, lo, hi), 0
 	}
 	return w
+}
+
+func newShardedWorkspace(k costKernel, shardBits int) *EvalWorkspace {
+	ss := quantum.NewShardedState(k.qubits(), shardBits)
+	ss.FillUniform()
+	w := &EvalWorkspace{
+		k:       k,
+		ss:      ss,
+		sbits:   uint(bits.TrailingZeros(uint(ss.ShardDim()))),
+		factors: make([]complex128, k.factorLen()),
+	}
+	// Sharded chunk bodies receive GLOBAL bounds (the sharded drivers
+	// iterate the same fixed chunk geometry as the flat ones) and map
+	// them onto the owning shard: off is the shard's base index, lo−off
+	// its local range.
+	w.phaseShard = func(off, lo, hi int) {
+		k.applyPhaseRange(w.ss.Shard(off>>w.sbits), w.factors, w.gamma, w.conj, off, lo, hi)
+	}
+	w.expectShard = func(lo, hi int) (float64, float64) {
+		off := lo &^ (w.ss.ShardDim() - 1)
+		return k.expectChunk(w.ss.Shard(lo>>w.sbits), off, lo-off, hi-off), 0
+	}
+	return w
+}
+
+// Close releases the shard worker goroutines of a sharded workspace.
+// It is a no-op for flat workspaces and safe to call more than once.
+func (w *EvalWorkspace) Close() {
+	if w.ss != nil {
+		w.ss.Close()
+	}
+	if w.adjSS != nil {
+		w.adjSS.Close()
+	}
+}
+
+// Shards returns how many state-vector shards the workspace evaluates
+// over (1 for the flat layout).
+func (w *EvalWorkspace) Shards() int {
+	if w.ss != nil {
+		return w.ss.NumShards()
+	}
+	return 1
 }
 
 // runLayers prepares |ψ(γ,β)⟩ in the workspace state: per stage, one
 // fused layer sweep applies the uniform fill (first stage), the phase
 // separator and the RX(2β) mixer.
 func (w *EvalWorkspace) runLayers(gamma, beta []float64) {
+	if w.ss != nil {
+		w.runLayersSharded(gamma, beta)
+		return
+	}
 	if len(gamma) == 0 {
 		w.state.FillUniform()
 		return
@@ -296,11 +401,24 @@ func (w *EvalWorkspace) runLayers(gamma, beta []float64) {
 	}
 }
 
+func (w *EvalWorkspace) runLayersSharded(gamma, beta []float64) {
+	if len(gamma) == 0 {
+		w.ss.FillUniform()
+		return
+	}
+	for s := range gamma {
+		w.k.prepareFactors(w.factors, gamma[s], false)
+		w.gamma, w.conj = gamma[s], false
+		w.ss.Layer(2*beta[s], s == 0, w.phaseShard)
+	}
+}
+
 // prepareState builds a fresh |ψ(γ,β)⟩ with the fused layer kernels.
 // It backs the one-shot State helpers, which are not hot paths, so the
-// transient workspace is fine.
+// transient workspace is fine. Always flat: the helpers hand out a
+// *quantum.State.
 func prepareState(k costKernel, gamma, beta []float64) *quantum.State {
-	w := newWorkspace(k)
+	w := newFlatWorkspace(k)
 	w.runLayers(gamma, beta)
 	return w.state
 }
@@ -308,6 +426,10 @@ func prepareState(k costKernel, gamma, beta []float64) *quantum.State {
 // expectation evaluates ⟨C⟩ at (γ, β), reusing the workspace buffers.
 func (w *EvalWorkspace) expectation(gamma, beta []float64) float64 {
 	w.runLayers(gamma, beta)
+	if w.ss != nil {
+		e, _ := w.ss.Reduce(w.expectShard)
+		return e
+	}
 	e, _ := quantum.ReduceChunks(w.state.Dim(), w.expectBody)
 	return e
 }

@@ -39,6 +39,17 @@ type LayerRunner struct {
 	s   *State
 	amp complex128 // uniform-fill amplitude 1/√dim
 
+	// limit caps the mixer sweep: only RX pairs with q+1 < limit (and,
+	// when limit == s.n, the odd final qubit) are applied. Zero means
+	// the full register. Sharded states (shard.go) set it to stop the
+	// in-shard sweep below the qubits the cross-shard exchange owns.
+	limit int
+	// clen overrides the chunk length of the low sweep (0: ChunkLen of
+	// the state's own dimension). Sharded states pin it to the GLOBAL
+	// chunk length so per-chunk phase callbacks see the same ranges the
+	// flat path would.
+	clen int
+
 	// Per-Layer parameters, written before dispatch, read-only during.
 	phase      func(lo, hi int)
 	fill       bool
@@ -82,9 +93,16 @@ func (r *LayerRunner) Layer(theta float64, fill bool, phase func(lo, hi int)) {
 	r.fill = fill
 
 	dim := len(s.amps)
-	clen := ChunkLen(dim)
+	clen := r.clen
+	if clen == 0 {
+		clen = ChunkLen(dim)
+	}
 	if clen > dim {
 		clen = dim
+	}
+	limit := r.limit
+	if limit == 0 {
+		limit = s.n
 	}
 	nc := dim / clen
 	par := s.parallel()
@@ -109,11 +127,11 @@ func (r *LayerRunner) Layer(theta float64, fill bool, phase func(lo, hi int)) {
 	if q%2 != 0 {
 		q = cb
 	}
-	for ; q+1 < s.n; q += 2 {
+	for ; q+1 < limit; q += 2 {
 		r.pairQ = q
 		runRange(dim>>2, par, r.pairBody)
 	}
-	if s.n%2 == 1 && nc > 1 {
+	if limit == s.n && s.n%2 == 1 && nc > 1 {
 		runRange(dim>>1, par, r.oneBody)
 	}
 }
@@ -135,11 +153,15 @@ func (r *LayerRunner) runLow(lo, hi int) {
 		r.phase(lo, hi)
 	}
 	span := hi - lo
+	limit := r.limit
+	if limit == 0 {
+		limit = s.n
+	}
 	q := 0
-	for ; q+1 < s.n && 1<<uint(q+1) < span; q += 2 {
+	for ; q+1 < limit && 1<<uint(q+1) < span; q += 2 {
 		s.rxPairRange(q, lo>>2, hi>>2, r.cc, r.cm, r.mm)
 	}
-	if q == s.n-1 && 1<<uint(q) < span {
+	if limit == s.n && q == s.n-1 && 1<<uint(q) < span {
 		// Single-chunk register with odd n: the final qubit is in-chunk.
 		s.apply1QRange(1<<uint(q), lo>>1, hi>>1, r.c, r.ms, r.ms, r.c)
 	}

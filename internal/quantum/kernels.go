@@ -45,9 +45,10 @@ func (s *State) FillUniform() {
 
 // parallel reports whether element-wise kernels on this state should
 // fan out across the worker pool. Parallel and serial passes are
-// bit-identical; this only gates scheduling.
+// bit-identical; this only gates scheduling. Shard-local states are
+// pinned serial: their owning shard worker IS the parallelism.
 func (s *State) parallel() bool {
-	return len(s.amps) >= ParallelDim && runtime.GOMAXPROCS(0) > 1
+	return !s.serial && len(s.amps) >= ParallelDim && runtime.GOMAXPROCS(0) > 1
 }
 
 // RXAll applies RX(θ) to every qubit — the QAOA mixing layer

@@ -2,7 +2,6 @@ package quantum
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -49,8 +48,22 @@ type chunkJob struct {
 	wake     chan struct{}
 }
 
-var jobPool = sync.Pool{
-	New: func() any { return &chunkJob{wake: make(chan struct{}, 1)} },
+// jobFree recycles job descriptors through a bounded channel rather
+// than a sync.Pool: pool caches are per-P and cleared by every GC, so
+// under many workers a long benchmark run re-allocated jobs (and their
+// parts buffers) once per P per GC cycle — the bytes/op growth with
+// GOMAXPROCS that BENCH_qaoa.json recorded. The channel freelist is
+// GC-immune and shared across Ps; in steady state a handful of jobs
+// circulate forever and warm dispatches allocate nothing.
+var jobFree = make(chan *chunkJob, maxPoolWorkers)
+
+func getJob() *chunkJob {
+	select {
+	case j := <-jobFree:
+		return j
+	default:
+		return &chunkJob{wake: make(chan struct{}, 1)}
+	}
 }
 
 var (
@@ -108,13 +121,17 @@ func (j *chunkJob) run() {
 }
 
 // release drops one reference; the last holder clears the closures and
-// returns the job to the pool. Queue copies received after the job
-// finished (stale copies) run zero chunks and release harmlessly —
-// the job cannot be recycled while they are outstanding.
+// returns the job to the freelist (dropping it if the list is full).
+// Queue copies received after the job finished (stale copies) run zero
+// chunks and release harmlessly — the job cannot be recycled while
+// they are outstanding.
 func (j *chunkJob) release() {
 	if j.refs.Add(-1) == 0 {
 		j.f, j.fr = nil, nil
-		jobPool.Put(j)
+		select {
+		case jobFree <- j:
+		default:
+		}
 	}
 }
 
@@ -123,7 +140,7 @@ func (j *chunkJob) release() {
 // returned job still holds the caller's reference so reduction partials
 // in j.parts can be read; the caller must j.release() afterwards.
 func dispatch(nc, clen int, f func(lo, hi int), fr func(lo, hi int) (a, b float64)) *chunkJob {
-	j := jobPool.Get().(*chunkJob)
+	j := getJob()
 	select { // drain a stale completion token from a previous dispatch
 	case <-j.wake:
 	default:

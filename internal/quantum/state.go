@@ -13,18 +13,36 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"sync/atomic"
 )
 
-// MaxQubits bounds state allocation (2^28 amplitudes ≈ 4 GiB). The
-// practical ceiling for full evaluations is n = 26–28 depending on how
-// many state buffers the caller holds (a gradient workspace holds two).
-const MaxQubits = 28
+// MaxQubits bounds state allocation (2^30 amplitudes = 16 GiB). The
+// practical ceiling for flat-array evaluations is n = 26–28 depending
+// on how many state buffers the caller holds (a gradient workspace
+// holds two); n = 29–30 is the territory of the sharded representation
+// (shard.go), which splits the register across independently allocated
+// shards with the same two-state-vector budget.
+const MaxQubits = 30
 
 // State is the dense state vector of an n-qubit register.
 type State struct {
 	n    int
 	amps []complex128
+	// serial pins every kernel on this state to the calling goroutine.
+	// Shard-local states set it so in-shard work never re-enters the
+	// worker pool from a shard worker (locality is the point of a shard).
+	serial bool
 }
+
+// ampBytes tracks cumulative amplitude-array allocation across the
+// process, so benchmarks can report the high-water state memory of a
+// workspace (states are held for the workspace lifetime, so the delta
+// across setup is the live footprint).
+var ampBytes atomic.Int64
+
+// AmpBytesAllocated returns the cumulative bytes of amplitude storage
+// allocated by NewState, Clone and NewShardedState since process start.
+func AmpBytesAllocated() int64 { return ampBytes.Load() }
 
 // NewState returns the n-qubit computational basis state |0...0⟩.
 func NewState(n int) *State {
@@ -32,6 +50,7 @@ func NewState(n int) *State {
 		panic(fmt.Sprintf("quantum: qubit count %d out of [1,%d]", n, MaxQubits))
 	}
 	s := &State{n: n, amps: make([]complex128, 1<<uint(n))}
+	ampBytes.Add(int64(16) << uint(n))
 	s.amps[0] = 1
 	return s
 }
@@ -58,7 +77,8 @@ func (s *State) Amplitude(index uint64) complex128 { return s.amps[index] }
 
 // Clone returns a deep copy of s.
 func (s *State) Clone() *State {
-	c := &State{n: s.n, amps: make([]complex128, len(s.amps))}
+	c := &State{n: s.n, amps: make([]complex128, len(s.amps)), serial: s.serial}
+	ampBytes.Add(int64(16 * len(s.amps)))
 	copy(c.amps, s.amps)
 	return c
 }

@@ -36,6 +36,7 @@ import (
 	"qaoaml/internal/optimize"
 	"qaoaml/internal/problem"
 	"qaoaml/internal/qaoa"
+	"qaoaml/internal/quantum"
 	"qaoaml/internal/telemetry"
 )
 
@@ -67,8 +68,9 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps requested per-job deadlines (default 10m).
 	MaxTimeout time.Duration
-	// MaxNodes caps instance size (default 20; hard limit 30 — the exact
-	// MaxCut reference needed for AR is brute-forced).
+	// MaxNodes caps instance size (default 20; hard limit
+	// quantum.MaxQubits — the simulator's register ceiling, reached via
+	// the sharded state layout).
 	MaxNodes int
 	// MaxDepth caps the requested circuit depth (default 10).
 	MaxDepth int
@@ -102,8 +104,8 @@ func (c Config) withDefaults() Config {
 	if c.MaxNodes <= 0 {
 		c.MaxNodes = 20
 	}
-	if c.MaxNodes > 30 {
-		c.MaxNodes = 30
+	if c.MaxNodes > quantum.MaxQubits {
+		c.MaxNodes = quantum.MaxQubits
 	}
 	if c.MaxDepth <= 0 {
 		c.MaxDepth = 10
@@ -866,13 +868,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]any{
-		"status":      status,
-		"api_version": APIVersion,
-		"problems":    problem.Families(),
-		"queue_depth": queued,
-		"workers":     s.cfg.Workers,
-		"models":      s.registry.Names(),
-		"jobs":        s.jobs.len(),
+		"status":        status,
+		"api_version":   APIVersion,
+		"problems":      problem.Families(),
+		"queue_depth":   queued,
+		"workers":       s.cfg.Workers,
+		"models":        s.registry.Names(),
+		"jobs":          s.jobs.len(),
+		"qubit_ceiling": s.cfg.MaxNodes,
 	})
 }
 

@@ -12,6 +12,7 @@ import (
 	"qaoaml/internal/core"
 	"qaoaml/internal/optimize"
 	"qaoaml/internal/qaoa"
+	"qaoaml/internal/quantum"
 	"qaoaml/internal/telemetry"
 )
 
@@ -38,6 +39,40 @@ func TestHealthz(t *testing.T) {
 	}
 	if len(body.Models) != 1 || body.Models[0] != "default" {
 		t.Fatalf("models %v", body.Models)
+	}
+}
+
+// The effective register ceiling shows up in /healthz and is enforced
+// at admission with a 400 naming the limit; a configured MaxNodes above
+// the simulator's register ceiling clamps to quantum.MaxQubits.
+func TestQubitCeiling(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxNodes: 10, Registry: testRegistry(t)})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		QubitCeiling int `json:"qubit_ceiling"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.QubitCeiling != 10 {
+		t.Fatalf("qubit_ceiling = %d, want 10", body.QubitCeiling)
+	}
+
+	_, edges := testInstance(3)
+	code, raw := postSolveRaw(t, ts.URL, SolveRequest{Nodes: 11, Edges: edges, Depth: 2})
+	if code != http.StatusBadRequest {
+		t.Fatalf("solve above ceiling: status %d, body %s", code, raw)
+	}
+	if !strings.Contains(string(raw), "[2, 10]") {
+		t.Fatalf("rejection does not name the ceiling: %s", raw)
+	}
+
+	if got := (Config{MaxNodes: 99}).withDefaults().MaxNodes; got != quantum.MaxQubits {
+		t.Fatalf("MaxNodes clamp = %d, want quantum.MaxQubits = %d", got, quantum.MaxQubits)
 	}
 }
 
