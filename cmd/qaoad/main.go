@@ -25,10 +25,12 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +42,7 @@ import (
 
 type daemonConfig struct {
 	addr       string
+	pprofAddr  string
 	models     string
 	drainGrace time.Duration
 
@@ -53,6 +56,7 @@ type daemonConfig struct {
 
 func registerFlags(fs *flag.FlagSet, c *daemonConfig) {
 	fs.StringVar(&c.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&c.pprofAddr, "pprof", "", "debug listen address for /debug/pprof and /debug/vars (empty = disabled)")
 	fs.StringVar(&c.models, "models", "", "directory of pre-trained predictor JSON files (SIGHUP reloads)")
 	fs.DurationVar(&c.drainGrace, "drain-grace", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
 	fs.BoolVar(&c.train, "train", false, "train a \"default\" model at startup if the registry has none")
@@ -108,6 +112,28 @@ func run(cfg daemonConfig) error {
 	reg.WatchHUP(hupCtx, func(err error) {
 		logger.Printf("model reload failed (previous set still serving): %v", err)
 	})
+
+	// The debug mux is opt-in and on its own listener, so profiling
+	// endpoints are never reachable through the public API address.
+	// /debug/vars serves expvar, including a live snapshot of the
+	// server's telemetry sink (the same data as /metrics, plus the
+	// runtime's memstats); /debug/pprof serves the standard profiles.
+	if cfg.pprofAddr != "" {
+		s.Metrics().PublishExpvar("qaoad")
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			logger.Printf("debug endpoints on %s (/debug/pprof, /debug/vars)", cfg.pprofAddr)
+			if err := http.ListenAndServe(cfg.pprofAddr, dbg); err != nil {
+				logger.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: cfg.addr, Handler: s.Handler()}
 	errc := make(chan error, 1)

@@ -1,0 +1,629 @@
+// Command qaoaload is the synthetic traffic generator for qaoad: it
+// drives a live server (or a self-hosted one) with a seeded, mixed
+// workload at a fixed open-loop arrival rate and writes the measured
+// serving numbers — throughput, latency percentiles, cache hit rate,
+// workspace-reuse rate — as JSON (BENCH_server.json by default),
+// merging prior runs the way qaoabench does.
+//
+// The arrival process is open-loop: requests are launched on a fixed
+// tick regardless of how many are still outstanding, so a server that
+// cannot keep up shows up as rising latency and 429s instead of the
+// generator politely slowing down — the failure mode a fleet actually
+// has under heavy traffic.
+//
+//	qaoaload                              # self-hosted server, defaults
+//	qaoaload -rate 50 -duration 10s       # 50 req/s for 10 s
+//	qaoaload -batch 8                     # POST /v1/solve/batch, 8 items per request
+//	qaoaload -addr http://host:8080       # drive a remote qaoad
+//	qaoaload -check BENCH_server.json     # validate a report's schema and exit
+//
+// The workload is a seeded pool of -instances requests cycling through
+// -families × -sizes × -depths; the pool repeats, so steady-state
+// traffic mixes cold solves, result-cache hits and single-flight
+// coalescing exactly as repeated production traffic would.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"qaoaml/internal/core"
+	"qaoaml/internal/graph"
+	"qaoaml/internal/server"
+)
+
+// Entry is one load-test result in the emitted JSON.
+type Entry struct {
+	Name       string  `json:"name"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	DurationS  float64 `json:"duration_s"`
+	OfferedRPS float64 `json:"offered_rps"`
+	BatchSize  int     `json:"batch_size,omitempty"`
+
+	Requests  int64 `json:"requests"`         // HTTP requests sent
+	Items     int64 `json:"items"`            // solve specs sent (= Requests unless batching)
+	Done      int64 `json:"done"`             // items that reached state done
+	Cached    int64 `json:"cached"`           // … of which served from the result cache
+	Coalesced int64 `json:"coalesced"`        // … of which attached to an identical in-flight job
+	Deduped   int64 `json:"deduped,omitempty"` // batch items collapsed intra-batch
+	Rejected  int64 `json:"rejected,omitempty"` // 429s (queue full / cost budget)
+	Failed    int64 `json:"failed,omitempty"`   // transport errors, 5xx, failed/cancelled jobs
+
+	ThroughputRPS float64 `json:"throughput_rps"` // completed items per second
+	P50Ms         float64 `json:"p50_ms"`
+	P90Ms         float64 `json:"p90_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+
+	// CacheHitRate is hits/(hits+misses) over the run (server counters,
+	// so coalesced requests count as misses); WorkspaceReuseRate is
+	// arena hits/gets — the fraction of state-vector buffer requests
+	// served without allocating.
+	CacheHitRate       float64 `json:"cache_hit_rate"`
+	WorkspaceReuseRate float64 `json:"workspace_reuse_rate"`
+	FevTotal           int64   `json:"fev_total,omitempty"` // optimizer objective calls spent
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Package    string   `json:"package"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Timestamp  string   `json:"timestamp"`
+	History    []string `json:"history,omitempty"`
+	Entries    []Entry  `json:"entries"`
+}
+
+// maxHistory caps how many prior-run timestamps a report accumulates.
+const maxHistory = 10
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "base URL of a running qaoad (empty = self-host an in-process server)")
+		rate      = flag.Float64("rate", 20, "open-loop arrival rate, requests per second")
+		duration  = flag.Duration("duration", 5*time.Second, "how long to offer load")
+		seed      = flag.Int64("seed", 1, "workload RNG seed (instances and request order are deterministic)")
+		instances = flag.Int("instances", 16, "distinct instances in the request pool (traffic cycles through it)")
+		families  = flag.String("families", "maxcut,partition,maxksat", "comma-separated problem families to mix")
+		sizes     = flag.String("sizes", "8", "comma-separated instance sizes (qubits)")
+		depths    = flag.String("depths", "2", "comma-separated circuit depths")
+		strategy  = flag.String("strategy", "naive", "solve strategy: naive or two-level")
+		optimizer = flag.String("optimizer", "lbfgsb", "optimizer name passed through to the server")
+		batch     = flag.Int("batch", 0, "items per POST /v1/solve/batch request (0 = individual /v1/solve)")
+		name      = flag.String("name", "", "entry name (default derived from the workload)")
+		out       = flag.String("out", "BENCH_server.json", "output file ('-' = stdout)")
+		check     = flag.String("check", "", "validate an existing report file and exit")
+		workers   = flag.Int("workers", 0, "self-hosted server worker pool (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "self-hosted server queue depth (0 = default)")
+	)
+	flag.Parse()
+	if *check != "" {
+		if err := checkReport(*check); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "qaoaload: %s ok\n", *check)
+		return
+	}
+	if *rate <= 0 || *duration <= 0 || *instances < 1 || *batch < 0 {
+		fatal(fmt.Errorf("-rate and -duration must be positive, -instances >= 1, -batch >= 0"))
+	}
+
+	pool, err := buildPool(workload{
+		families: splitList(*families), sizes: splitInts(*sizes), depths: splitInts(*depths),
+		instances: *instances, seed: *seed, strategy: *strategy, optimizer: *optimizer,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	base := strings.TrimRight(*addr, "/")
+	var shutdown func()
+	if base == "" {
+		base, shutdown, err = selfHost(server.Config{Workers: *workers, QueueDepth: *queue}, *strategy)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+	}
+
+	before, err := scrapeCounters(base)
+	if err != nil {
+		fatal(fmt.Errorf("scraping /metrics: %w (is the server up?)", err))
+	}
+
+	e := offerLoad(base, pool, *rate, *duration, *batch)
+
+	after, err := scrapeCounters(base)
+	if err != nil {
+		fatal(fmt.Errorf("scraping /metrics after the run: %w", err))
+	}
+	hits := after["server.cache.hits"] - before["server.cache.hits"]
+	misses := after["server.cache.misses"] - before["server.cache.misses"]
+	if hits+misses > 0 {
+		e.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	gets := after["server.arena.gets"] - before["server.arena.gets"]
+	ahits := after["server.arena.hits"] - before["server.arena.hits"]
+	if gets > 0 {
+		e.WorkspaceReuseRate = float64(ahits) / float64(gets)
+	}
+	e.FevTotal = after["optimize.fev_total"] - before["optimize.fev_total"]
+
+	e.Name = *name
+	if e.Name == "" {
+		e.Name = deriveName(*families, *strategy, *rate, *batch)
+	}
+	e.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	e.OfferedRPS = *rate
+	e.BatchSize = *batch
+
+	fmt.Fprintf(os.Stderr, "%-32s %8.1f items/s  p50 %.1fms  p99 %.1fms  cache %.0f%%  reuse %.0f%%  (%d items, %d rejected, %d failed)\n",
+		e.Name, e.ThroughputRPS, e.P50Ms, e.P99Ms, 100*e.CacheHitRate, 100*e.WorkspaceReuseRate, e.Items, e.Rejected, e.Failed)
+
+	rep := Report{
+		Package:    "qaoaml",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Entries:    []Entry{e},
+	}
+	if *out == "-" {
+		rep.write(os.Stdout)
+		return
+	}
+	rep.merge(*out)
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	rep.write(f)
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d entries)\n", *out, len(rep.Entries))
+}
+
+// workload describes the request mix.
+type workload struct {
+	families  []string
+	sizes     []int
+	depths    []int
+	instances int
+	seed      int64
+	strategy  string
+	optimizer string
+}
+
+// buildPool generates the seeded request pool, cycling family × size ×
+// depth across instances. Every request is Wait=true: the generator
+// measures end-to-end solve latency, not enqueue latency.
+func buildPool(w workload) ([]server.SolveRequest, error) {
+	if len(w.families) == 0 || len(w.sizes) == 0 || len(w.depths) == 0 {
+		return nil, fmt.Errorf("need at least one family, size and depth")
+	}
+	rng := rand.New(rand.NewSource(w.seed))
+	pool := make([]server.SolveRequest, 0, w.instances)
+	for i := 0; i < w.instances; i++ {
+		fam := w.families[i%len(w.families)]
+		n := w.sizes[(i/len(w.families))%len(w.sizes)]
+		req := server.SolveRequest{
+			Problem:   fam,
+			Depth:     w.depths[i%len(w.depths)],
+			Strategy:  w.strategy,
+			Optimizer: w.optimizer,
+			Seed:      int64(i + 1),
+			Wait:      true,
+		}
+		switch fam {
+		case "maxcut":
+			g := graph.ErdosRenyiConnected(n, 0.5, rng)
+			req.Nodes = n
+			for _, ed := range g.Edges() {
+				req.Edges = append(req.Edges, [2]int{ed.U, ed.V})
+			}
+		case "partition":
+			req.Numbers = make([]float64, n)
+			for j := range req.Numbers {
+				req.Numbers[j] = float64(1 + rng.Intn(50))
+			}
+		case "maxksat":
+			// Two-literal clauses keep the compiled register at exactly
+			// n qubits (three-literal clauses add Rosenberg auxiliaries).
+			req.Vars = n
+			for c := 0; c < 2*n; c++ {
+				a := rng.Intn(n)
+				b := rng.Intn(n - 1)
+				if b >= a {
+					b++
+				}
+				lit := func(v int) int {
+					if rng.Intn(2) == 0 {
+						return -(v + 1)
+					}
+					return v + 1
+				}
+				req.Clauses = append(req.Clauses, []int{lit(a), lit(b)})
+			}
+		default:
+			return nil, fmt.Errorf("unsupported family %q (qaoaload generates maxcut, partition, maxksat)", fam)
+		}
+		pool = append(pool, req)
+	}
+	return pool, nil
+}
+
+// collector aggregates per-request outcomes under one lock.
+type collector struct {
+	mu        sync.Mutex
+	latencies []float64 // ms, one per HTTP request
+	e         Entry
+}
+
+// offerLoad drives the server at the fixed arrival rate for the given
+// duration, then waits for every outstanding request to return.
+func offerLoad(base string, pool []server.SolveRequest, rate float64, duration time.Duration, batch int) Entry {
+	client := &http.Client{} // no client timeout: the server bounds jobs
+	col := &collector{}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.After(duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	k := 0
+loop:
+	for {
+		select {
+		case <-ticker.C:
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				if batch > 0 {
+					doBatch(client, base, pool, k, batch, col)
+				} else {
+					doSolve(client, base, pool[k%len(pool)], col)
+				}
+			}(k)
+			k++
+		case <-stop:
+			break loop
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	e := col.e
+	e.DurationS = elapsed
+	sort.Float64s(col.latencies)
+	e.P50Ms = percentile(col.latencies, 50)
+	e.P90Ms = percentile(col.latencies, 90)
+	e.P99Ms = percentile(col.latencies, 99)
+	if elapsed > 0 {
+		e.ThroughputRPS = float64(e.Done) / elapsed
+	}
+	return e
+}
+
+// doSolve sends one POST /v1/solve and records its outcome.
+func doSolve(client *http.Client, base string, req server.SolveRequest, col *collector) {
+	blob, _ := json.Marshal(req)
+	start := time.Now()
+	resp, err := client.Post(base+"/v1/solve", "application/json", bytes.NewReader(blob))
+	ms := float64(time.Since(start).Nanoseconds()) / 1e6
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.e.Requests++
+	col.e.Items++
+	col.latencies = append(col.latencies, ms)
+	if err != nil {
+		col.e.Failed++
+		return
+	}
+	defer resp.Body.Close()
+	var view server.JobView
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		col.e.Rejected++
+	case resp.StatusCode != http.StatusOK:
+		col.e.Failed++
+	case json.NewDecoder(resp.Body).Decode(&view) != nil:
+		col.e.Failed++
+	default:
+		col.countView(&view)
+	}
+}
+
+// doBatch sends one POST /v1/solve/batch with `size` consecutive pool
+// entries and records per-item outcomes.
+func doBatch(client *http.Client, base string, pool []server.SolveRequest, k, size int, col *collector) {
+	items := make([]server.SolveRequest, size)
+	for i := range items {
+		items[i] = pool[(k*size+i)%len(pool)]
+	}
+	blob, _ := json.Marshal(server.BatchRequest{Items: items})
+	start := time.Now()
+	resp, err := client.Post(base+"/v1/solve/batch", "application/json", bytes.NewReader(blob))
+	ms := float64(time.Since(start).Nanoseconds()) / 1e6
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.e.Requests++
+	col.e.Items += int64(size)
+	col.latencies = append(col.latencies, ms)
+	if err != nil {
+		col.e.Failed += int64(size)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		col.e.Rejected += int64(size)
+		return
+	}
+	var br server.BatchResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&br) != nil {
+		col.e.Failed += int64(size)
+		return
+	}
+	for _, item := range br.Items {
+		switch {
+		case item.Code == http.StatusTooManyRequests:
+			col.e.Rejected++
+		case item.Code != http.StatusOK:
+			col.e.Failed++
+		default:
+			if item.Deduped {
+				col.e.Deduped++
+			}
+			col.countView(item.Job)
+		}
+	}
+}
+
+// countView classifies one finished job view (col.mu held).
+func (col *collector) countView(view *server.JobView) {
+	if view == nil {
+		col.e.Failed++
+		return
+	}
+	switch view.State {
+	case server.StateDone:
+		col.e.Done++
+		if view.Cached {
+			col.e.Cached++
+		}
+		if view.Coalesced {
+			col.e.Coalesced++
+		}
+	default:
+		col.e.Failed++
+	}
+}
+
+// percentile reads the q-th percentile (nearest-rank) from sorted ms.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q/100*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// scrapeCounters reads the counter block of GET /metrics.
+func scrapeCounters(base string) (map[string]int64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	if snap.Counters == nil {
+		snap.Counters = map[string]int64{}
+	}
+	return snap.Counters, nil
+}
+
+// selfHost starts an in-process server on a loopback port and returns
+// its base URL plus a shutdown hook. The two-level strategy needs a
+// registered predictor, which the caller's qaoad would normally load;
+// here the "default" model is trained in-process exactly like
+// qaoad -train does.
+func selfHost(cfg server.Config, strategy string) (string, func(), error) {
+	if strategy == server.StrategyTwoLevel {
+		reg, err := trainedRegistry()
+		if err != nil {
+			return "", nil, err
+		}
+		cfg.Registry = reg
+	}
+	s := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "self-hosted qaoad on %s\n", base)
+	return base, func() {
+		_ = hs.Close()
+		s.Close()
+	}, nil
+}
+
+// trainedRegistry trains a small "default" two-level predictor the way
+// qaoad -train does, so a self-hosted run can exercise -strategy
+// two-level without a model directory.
+func trainedRegistry() (*server.Registry, error) {
+	reg, err := server.NewRegistry("")
+	if err != nil {
+		return nil, err
+	}
+	data, err := core.Generate(core.DataGenConfig{
+		NumGraphs: 8, Nodes: 8, EdgeProb: 0.5,
+		MaxDepth: 3, Starts: 2, Tol: 1e-6, Seed: 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("training dataset: %w", err)
+	}
+	train, _ := data.SplitIndices(0.8, 1)
+	pred := core.NewPredictor(nil)
+	if err := pred.Train(data, train); err != nil {
+		return nil, fmt.Errorf("training default model: %w", err)
+	}
+	reg.Register("default", pred)
+	return reg, nil
+}
+
+// deriveName builds a default entry name from the workload shape, e.g.
+// "maxcut+partition/naive-rps20" or "maxcut/naive-rps40-b8".
+func deriveName(families, strategy string, rate float64, batch int) string {
+	fams := strings.Join(splitList(families), "+")
+	n := fmt.Sprintf("%s/%s-rps%s", fams, strategy, strconv.FormatFloat(rate, 'f', -1, 64))
+	if batch > 0 {
+		n += fmt.Sprintf("-b%d", batch)
+	}
+	return n
+}
+
+// checkReport validates a BENCH_server.json document: the schema CI
+// asserts after the server-load smoke run.
+func checkReport(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Package == "" || rep.Timestamp == "" || rep.GOMAXPROCS < 1 {
+		return fmt.Errorf("%s: missing package/timestamp/gomaxprocs header", path)
+	}
+	if len(rep.Entries) == 0 {
+		return fmt.Errorf("%s: no entries", path)
+	}
+	for i, e := range rep.Entries {
+		where := fmt.Sprintf("%s: entry %d (%s)", path, i, e.Name)
+		switch {
+		case e.Name == "":
+			return fmt.Errorf("%s: empty name", where)
+		case e.GOMAXPROCS < 1:
+			return fmt.Errorf("%s: gomaxprocs %d < 1", where, e.GOMAXPROCS)
+		case e.Requests < 1 || e.Items < e.Requests:
+			return fmt.Errorf("%s: implausible requests=%d items=%d", where, e.Requests, e.Items)
+		case e.DurationS <= 0 || e.OfferedRPS <= 0:
+			return fmt.Errorf("%s: non-positive duration/offered rate", where)
+		case e.Done > 0 && e.ThroughputRPS <= 0:
+			return fmt.Errorf("%s: %d done items but zero throughput", where, e.Done)
+		case e.P50Ms < 0 || e.P99Ms < e.P50Ms:
+			return fmt.Errorf("%s: latency percentiles out of order (p50 %.3f, p99 %.3f)", where, e.P50Ms, e.P99Ms)
+		case e.CacheHitRate < 0 || e.CacheHitRate > 1 || e.WorkspaceReuseRate < 0 || e.WorkspaceReuseRate > 1:
+			return fmt.Errorf("%s: rates out of [0,1]", where)
+		}
+	}
+	return nil
+}
+
+// merge folds a previous report at path into r, keyed by
+// (name, gomaxprocs) with this run winning; prior timestamps join
+// History (newest first, capped). Missing file = first run; corrupt
+// file = overwritten. The logic mirrors qaoabench's merge so the two
+// BENCH files age the same way.
+func (r *Report) merge(path string) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	var old Report
+	if json.Unmarshal(blob, &old) != nil {
+		return
+	}
+	key := func(e Entry) string { return e.Name + "@" + strconv.Itoa(e.GOMAXPROCS) }
+	fresh := make(map[string]bool, len(r.Entries))
+	for _, e := range r.Entries {
+		fresh[key(e)] = true
+	}
+	kept := 0
+	for _, e := range old.Entries {
+		if !fresh[key(e)] {
+			r.Entries = append(r.Entries, e)
+			kept++
+		}
+	}
+	if old.Timestamp != "" {
+		r.History = append(r.History, old.Timestamp)
+	}
+	r.History = append(r.History, old.History...)
+	if len(r.History) > maxHistory {
+		r.History = r.History[:maxHistory]
+	}
+	if kept > 0 {
+		fmt.Fprintf(os.Stderr, "merged %d prior entries from %s\n", kept, path)
+	}
+}
+
+func (r *Report) write(w *os.File) {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if _, err := w.Write(blob); err != nil {
+		fatal(err)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) []int {
+	var out []int
+	for _, f := range splitList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 1 {
+			fatal(fmt.Errorf("bad list value %q (want positive integers)", f))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qaoaload:", err)
+	os.Exit(1)
+}

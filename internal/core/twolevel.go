@@ -29,9 +29,21 @@ func NaiveRun(pb *qaoa.Problem, pt int, opt optimize.Optimizer, rng *rand.Rand) 
 // cancellation it returns the optimizer's incumbent (canonicalized)
 // with ctx.Err(), so the partial result is still usable.
 func NaiveRunCtx(ctx context.Context, pb *qaoa.Problem, pt int, opt optimize.Optimizer, rng *rand.Rand, rec telemetry.Recorder) (RunResult, error) {
-	ev := qaoa.NewEvaluator(pb, pt)
+	return NaiveRunArena(ctx, nil, pb, pt, opt, rng, rec)
+}
+
+// NaiveRunArena is NaiveRunCtx drawing every evaluation workspace's
+// state buffers from the arena (nil behaves like NaiveRunCtx), so a
+// serving loop reuses its 2^n vectors across runs instead of
+// reallocating per request. Results are bit-identical to NaiveRunCtx:
+// the arena only changes where buffers come from, never what the
+// kernels compute.
+func NaiveRunArena(ctx context.Context, arena *qaoa.Arena, pb *qaoa.Problem, pt int, opt optimize.Optimizer, rng *rand.Rand, rec telemetry.Recorder) (RunResult, error) {
+	ev := qaoa.NewEvaluatorArena(pb, pt, arena)
+	defer ev.Release()
 	bounds := ParamBounds(pt)
-	be := qaoa.NewBatchEvaluator(pb, pt, 0)
+	be := qaoa.NewBatchEvaluatorArena(pb, pt, 0, arena)
+	defer be.Release()
 	r := optimize.Run(ctx, optimize.Problem{F: ev.NegExpectation, Batch: be.EvalBatch, Grad: ev.NegGrad, X0: bounds.Random(rng), Bounds: bounds},
 		optimize.Options{Optimizer: opt, Recorder: rec})
 	// Canonical form keeps downstream feature extraction consistent
@@ -41,7 +53,7 @@ func NaiveRunCtx(ctx context.Context, pb *qaoa.Problem, pt int, opt optimize.Opt
 	if r.Status == optimize.Cancelled {
 		err = ctx.Err()
 	}
-	return RunResult{Params: params, AR: pb.ApproximationRatio(params), NFev: r.NFev}, err
+	return RunResult{Params: params, AR: ev.ApproximationRatio(params), NFev: r.NFev}, err
 }
 
 // TwoLevelResult is the outcome of the paper's Fig. 4 flow: the depth-1
@@ -76,6 +88,15 @@ func TwoLevel(pb *qaoa.Problem, pt int, opt optimize.Optimizer, pred *Predictor,
 // far — Level1 alone, or Level1 plus the level-2 incumbent — together
 // with ctx.Err(); TotalNFev always counts the QC calls actually spent.
 func TwoLevelCtx(ctx context.Context, pb *qaoa.Problem, pt int, opt optimize.Optimizer, pred *Predictor, rng *rand.Rand, rec telemetry.Recorder) (TwoLevelResult, error) {
+	return TwoLevelArena(ctx, nil, pb, pt, opt, pred, rng, rec)
+}
+
+// TwoLevelArena is TwoLevelCtx drawing every evaluation workspace's
+// state buffers from the arena (nil behaves like TwoLevelCtx); see
+// NaiveRunArena. Both levels share the arena — the depth-1 and
+// depth-pt workspaces are the same register width, so level 2 reuses
+// level 1's buffers.
+func TwoLevelArena(ctx context.Context, arena *qaoa.Arena, pb *qaoa.Problem, pt int, opt optimize.Optimizer, pred *Predictor, rng *rand.Rand, rec telemetry.Recorder) (TwoLevelResult, error) {
 	if pt < 2 {
 		return TwoLevelResult{}, fmt.Errorf("core: two-level target depth %d < 2", pt)
 	}
@@ -85,7 +106,7 @@ func TwoLevelCtx(ctx context.Context, pb *qaoa.Problem, pt int, opt optimize.Opt
 	r := telemetry.OrNop(rec)
 
 	end := r.Span("twolevel.level1")
-	level1, err := NaiveRunCtx(ctx, pb, 1, opt, rng, r)
+	level1, err := NaiveRunArena(ctx, arena, pb, 1, opt, rng, r)
 	end()
 	if err != nil {
 		return TwoLevelResult{Level1: level1, TotalNFev: level1.NFev}, err
@@ -99,14 +120,16 @@ func TwoLevelCtx(ctx context.Context, pb *qaoa.Problem, pt int, opt optimize.Opt
 	}
 
 	end = r.Span("twolevel.level2")
-	ev := qaoa.NewEvaluator(pb, pt)
+	ev := qaoa.NewEvaluatorArena(pb, pt, arena)
+	defer ev.Release()
 	bounds := ParamBounds(pt)
-	be := qaoa.NewBatchEvaluator(pb, pt, 0)
+	be := qaoa.NewBatchEvaluatorArena(pb, pt, 0, arena)
+	defer be.Release()
 	res := optimize.Run(ctx, optimize.Problem{F: ev.NegExpectation, Batch: be.EvalBatch, Grad: ev.NegGrad, X0: init.Vector(), Bounds: bounds},
 		optimize.Options{Optimizer: opt, Recorder: r})
 	end()
 	params := pb.Canonicalize(qaoa.FromVector(res.X))
-	level2 := RunResult{Params: params, AR: pb.ApproximationRatio(params), NFev: res.NFev}
+	level2 := RunResult{Params: params, AR: ev.ApproximationRatio(params), NFev: res.NFev}
 	out := TwoLevelResult{
 		Level1:    level1,
 		Predicted: init,

@@ -1,0 +1,189 @@
+package qaoa
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"qaoaml/internal/graph"
+	"qaoaml/internal/quantum"
+)
+
+func arenaProblem(t *testing.T, n int, seed int64) *Problem {
+	t.Helper()
+	g := graph.ErdosRenyiConnected(n, 0.4, rand.New(rand.NewSource(seed)))
+	pb, err := NewProblem(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb
+}
+
+// TestArenaSteadyStateAllocatesNoAmplitudes is the zero-alloc pin for
+// workspace pooling: after one warm-up evaluator has populated the
+// arena, further evaluator lifecycles on same-width problems must
+// allocate zero bytes of amplitude storage — state and adjoint buffers
+// both come from the pool. n >= StreamingThreshold so the problem
+// itself holds no 2^n cost table either.
+func TestArenaSteadyStateAllocatesNoAmplitudes(t *testing.T) {
+	const n = StreamingThreshold + 1
+	a := NewArena(0)
+	defer a.Close()
+
+	warm := arenaProblem(t, n, 1)
+	x := []float64{0.4, 0.7}
+	grad := make([]float64, 2)
+	ev := NewEvaluatorArena(warm, 1, a)
+	ev.NegValueGrad(x, grad) // forces the adjoint buffer too
+	ev.Release()
+
+	before := quantum.AmpBytesAllocated()
+	for seed := int64(2); seed < 8; seed++ {
+		pb := arenaProblem(t, n, seed)
+		ev := NewEvaluatorArena(pb, 1, a)
+		ev.NegExpectation(x)
+		ev.NegValueGrad(x, grad)
+		ev.BestSampled(Params{Gamma: x[:1], Beta: x[1:]})
+		ev.Release()
+	}
+	if delta := quantum.AmpBytesAllocated() - before; delta != 0 {
+		t.Fatalf("steady-state evaluators allocated %d bytes of amplitude storage, want 0", delta)
+	}
+	st := a.Stats()
+	if st.Gets == 0 || st.Hits == 0 {
+		t.Fatalf("arena never hit: stats %+v", st)
+	}
+}
+
+// TestArenaBitIdentity: a workspace built on recycled (dirty) buffers
+// must produce bit-identical expectations, gradients and readouts to a
+// freshly allocated one.
+func TestArenaBitIdentity(t *testing.T) {
+	a := NewArena(0)
+	defer a.Close()
+
+	// Dirty the pool with a different instance of the same width.
+	dirty := arenaProblem(t, 10, 99)
+	x := []float64{0.9, -0.3, 0.2, 0.5}
+	grad := make([]float64, 4)
+	ev := NewEvaluatorArena(dirty, 2, a)
+	ev.NegValueGrad(x, grad)
+	ev.Release()
+
+	pb := arenaProblem(t, 10, 7)
+	pooled := NewEvaluatorArena(pb, 2, a)
+	fresh := NewEvaluator(pb, 2)
+	defer pooled.Release()
+	defer fresh.Release() // no arena: falls back to Close
+
+	if got, want := pooled.NegExpectation(x), fresh.NegExpectation(x); got != want {
+		t.Fatalf("pooled expectation %v != fresh %v", got, want)
+	}
+	gradP, gradF := make([]float64, 4), make([]float64, 4)
+	if got, want := pooled.NegValueGrad(x, gradP), fresh.NegValueGrad(x, gradF); got != want {
+		t.Fatalf("pooled value %v != fresh %v", got, want)
+	}
+	for i := range gradP {
+		if gradP[i] != gradF[i] {
+			t.Fatalf("grad[%d]: pooled %v != fresh %v", i, gradP[i], gradF[i])
+		}
+	}
+	pr := Params{Gamma: x[:2], Beta: x[2:]}
+	sp, ap := pooled.BestSampled(pr)
+	sf, af := fresh.BestSampled(pr)
+	if sp != sf || ap != af {
+		t.Fatalf("pooled readout (%v, %b) != fresh (%v, %b)", sp, ap, sf, af)
+	}
+}
+
+// TestArenaShardedReuse: sharded workspaces round-trip through the
+// arena (same shard geometry → same buffers) and stay bit-identical to
+// the flat path on dirty reuse.
+func TestArenaShardedReuse(t *testing.T) {
+	a := NewArena(0)
+	defer a.Close()
+	pb := arenaProblem(t, StreamingThreshold+1, 3)
+	x := []float64{0.6, 0.1}
+
+	w1 := newShardedWorkspace(pb.kernel(), 1, a)
+	first := w1.ExpectationVec(x)
+	w1.Release()
+
+	dirty := arenaProblem(t, StreamingThreshold+1, 55)
+	wd := newShardedWorkspace(dirty.kernel(), 1, a)
+	wd.ExpectationVec(x)
+	wd.Release()
+
+	base := quantum.AmpBytesAllocated()
+	w2 := newShardedWorkspace(pb.kernel(), 1, a)
+	defer w2.Release()
+	if delta := quantum.AmpBytesAllocated() - base; delta != 0 {
+		t.Fatalf("pooled sharded workspace allocated %d amplitude bytes, want 0", delta)
+	}
+	if got := w2.ExpectationVec(x); got != first {
+		t.Fatalf("recycled sharded expectation %v != first run %v", got, first)
+	}
+	flat := pb.NewWorkspace()
+	defer flat.Close()
+	if got, want := w2.ExpectationVec(x), flat.ExpectationVec(x); got != want {
+		t.Fatalf("sharded %v != flat %v", got, want)
+	}
+}
+
+// TestArenaCapAndClose: the per-key pool never exceeds its cap (extra
+// buffers are dropped, sharded ones closed), and a closed arena
+// declines further buffers while still serving fresh allocations.
+func TestArenaCapAndClose(t *testing.T) {
+	a := NewArena(2)
+	for i := 0; i < 5; i++ {
+		a.putState(quantum.NewUniformState(6))
+	}
+	a.mu.Lock()
+	if got := len(a.flat[6]); got != 2 {
+		a.mu.Unlock()
+		t.Fatalf("pool holds %d states over cap 2", got)
+	}
+	a.mu.Unlock()
+
+	a.Close()
+	if st := a.getState(6); st == nil || st.NumQubits() != 6 {
+		t.Fatal("closed arena must still hand out fresh states")
+	}
+	a.putState(quantum.NewUniformState(6))
+	a.mu.Lock()
+	if got := len(a.flat[6]); got != 0 {
+		a.mu.Unlock()
+		t.Fatalf("closed arena retained %d states, want 0", got)
+	}
+	a.mu.Unlock()
+
+	// nil arena: everything degrades to plain allocation.
+	var nilA *Arena
+	if st := nilA.getState(5); st.NumQubits() != 5 {
+		t.Fatal("nil arena getState")
+	}
+	nilA.putState(quantum.NewUniformState(5)) // must not panic
+}
+
+// TestArenaConcurrent hammers get/put from many goroutines; the race
+// detector (CI runs this package with -race) is the real assertion.
+func TestArenaConcurrent(t *testing.T) {
+	a := NewArena(4)
+	defer a.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 5 + g%3
+			for i := 0; i < 50; i++ {
+				st := a.getState(n)
+				a.putState(st)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := a.Stats(); st.Gets != 400 {
+		t.Fatalf("gets = %d, want 400", st.Gets)
+	}
+}

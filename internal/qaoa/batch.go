@@ -30,6 +30,15 @@ type BatchEvaluator struct {
 // NewBatchEvaluator builds a batch evaluator with the given worker
 // count (≤ 0 selects GOMAXPROCS). Depth p must be ≥ 1.
 func NewBatchEvaluator(pb *Problem, p, workers int) *BatchEvaluator {
+	return NewBatchEvaluatorArena(pb, p, workers, nil)
+}
+
+// NewBatchEvaluatorArena is NewBatchEvaluator drawing every worker
+// workspace's state buffers from the arena (nil behaves like
+// NewBatchEvaluator). Call Release when done so the buffers return to
+// the arena. An Arena is safe for concurrent use, so one arena can
+// back all workers.
+func NewBatchEvaluatorArena(pb *Problem, p, workers int, a *Arena) *BatchEvaluator {
 	if p < 1 {
 		panic(fmt.Sprintf("qaoa: depth %d < 1", p))
 	}
@@ -45,9 +54,18 @@ func NewBatchEvaluator(pb *Problem, p, workers int) *BatchEvaluator {
 	}
 	b := &BatchEvaluator{Problem: pb, Depth: p, workers: make([]*EvalWorkspace, workers)}
 	for i := range b.workers {
-		b.workers[i] = pb.NewWorkspace()
+		b.workers[i] = pb.NewWorkspaceArena(a)
 	}
 	return b
+}
+
+// Release retires all worker workspaces, returning arena-drawn buffers
+// to their arena (closing shard workers otherwise). The evaluator must
+// not be used afterwards.
+func (b *BatchEvaluator) Release() {
+	for _, ws := range b.workers {
+		ws.Release()
+	}
 }
 
 // Dim returns the number of optimization variables, 2p.

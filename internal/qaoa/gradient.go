@@ -64,8 +64,10 @@ func (w *EvalWorkspace) valueGrad(gamma, beta, dGamma, dBeta []float64) float64 
 	k := w.k
 	if w.adj == nil {
 		// One-time adjoint buffers and dispatch closures; every later
-		// call reuses them, so warm sweeps allocate nothing.
-		w.adj = w.state.Clone()
+		// call reuses them, so warm sweeps allocate nothing. The seed
+		// pass overwrites every adjoint chunk, so the buffer's initial
+		// content is irrelevant (arena-pooled buffers arrive dirty).
+		w.adj = w.arena.adjointState(w.state)
 		w.adjRunner = quantum.NewLayerRunner(w.adj)
 		w.seedBody = func(lo, hi int) (float64, float64) {
 			return k.seedChunkValue(w.adj, w.state, 0, lo, hi), 0
@@ -125,8 +127,9 @@ func (w *EvalWorkspace) valueGradSharded(gamma, beta, dGamma, dBeta []float64) f
 	k := w.k
 	if w.adjSS == nil {
 		// The seed pass overwrites every adjoint chunk, so a fresh
-		// (zeroed) shard set is a valid starting point.
-		w.adjSS = quantum.NewShardedState(w.ss.NumQubits(), bits.Len(uint(w.ss.NumShards()-1)))
+		// (zeroed) shard set — or a dirty arena-pooled one — is a valid
+		// starting point.
+		w.adjSS = w.arena.getSharded(w.ss.NumQubits(), bits.Len(uint(w.ss.NumShards()-1)))
 		sdim := w.ss.ShardDim()
 		w.seedShard = func(lo, hi int) (float64, float64) {
 			off := lo &^ (sdim - 1)

@@ -111,7 +111,7 @@ func TestIsingStreamMatchesMaterializedExactly(t *testing.T) {
 		x := testParams(p).Vector()
 		for _, w := range []int{1, 2, 8} {
 			runtime.GOMAXPROCS(w)
-			sw, mw := newWorkspace(pb.kernel()), newWorkspace(mat)
+			sw, mw := newWorkspace(pb.kernel(), nil), newWorkspace(mat, nil)
 			if sv, mv := sw.ExpectationVec(x), mw.ExpectationVec(x); sv != mv {
 				t.Errorf("p=%d w=%d: streaming <Score> %v != materialized %v", p, w, sv, mv)
 			}
@@ -149,8 +149,8 @@ func TestIsingStreamFloatCoefficients(t *testing.T) {
 	diag, gen := buildIsingTables(in)
 	mat := newDiagKernelFromGen(in.N, diag, gen)
 	x := testParams(2).Vector()
-	sv := newWorkspace(pb.kernel()).ExpectationVec(x)
-	mv := newWorkspace(mat).ExpectationVec(x)
+	sv := newWorkspace(pb.kernel(), nil).ExpectationVec(x)
+	mv := newWorkspace(mat, nil).ExpectationVec(x)
 	if math.Abs(sv-mv) > 1e-9*(1+math.Abs(mv)) {
 		t.Errorf("float streaming <Score> %v != materialized %v", sv, mv)
 	}

@@ -243,10 +243,18 @@ func (pb *Problem) Expectation(pr Params) float64 {
 // compiled Ising families, whose raw Score can be negative and whose
 // plain ratio would be meaningless.
 func (pb *Problem) ApproximationRatio(pr Params) float64 {
+	return pb.ratioOf(pb.Expectation(pr))
+}
+
+// ratioOf maps an expectation onto the family's quality ratio — the
+// shared arithmetic behind Problem.ApproximationRatio and
+// Evaluator.ApproximationRatio, so both report bit-identical ratios for
+// the same expectation value.
+func (pb *Problem) ratioOf(e float64) float64 {
 	if pb.Inst != nil {
-		return pb.NormalizedScore(pb.Expectation(pr))
+		return pb.NormalizedScore(e)
 	}
-	return pb.Expectation(pr) / pb.OptValue
+	return e / pb.OptValue
 }
 
 // BestSampledCut returns the most probable basis state's objective and
@@ -274,10 +282,45 @@ type Evaluator struct {
 
 // NewEvaluator returns an evaluator for a fixed circuit depth p ≥ 1.
 func NewEvaluator(pb *Problem, p int) *Evaluator {
+	return NewEvaluatorArena(pb, p, nil)
+}
+
+// NewEvaluatorArena is NewEvaluator drawing the workspace's
+// state-vector buffers from the arena (nil behaves like NewEvaluator).
+// Results are bit-identical; only the buffers' provenance changes.
+// Call Release when done so the buffers return to the arena.
+func NewEvaluatorArena(pb *Problem, p int, a *Arena) *Evaluator {
 	if p < 1 {
 		panic(fmt.Sprintf("qaoa: depth %d < 1", p))
 	}
-	return &Evaluator{Problem: pb, Depth: p, ws: pb.NewWorkspace()}
+	return &Evaluator{Problem: pb, Depth: p, ws: pb.NewWorkspaceArena(a)}
+}
+
+// Release retires the evaluator's workspace, returning arena-drawn
+// buffers to their arena (closing shard workers otherwise). The
+// evaluator must not be used afterwards.
+func (e *Evaluator) Release() { e.ws.Release() }
+
+// ApproximationRatio returns the quality ratio at the given parameters
+// through the evaluator's own workspace — bit-identical to
+// Problem.ApproximationRatio (same kernel, same chunk geometry) but
+// with no pool round-trip and no buffer allocation.
+func (e *Evaluator) ApproximationRatio(pr Params) float64 {
+	return e.Problem.ratioOf(e.ws.Expectation(pr))
+}
+
+// BestSampled returns the most probable basis state's Score and
+// assignment at the given parameters, reusing the evaluator's
+// workspace — the allocation-free analogue of Problem.BestSampled
+// (which builds a transient 2^n state per call). Ties resolve to the
+// lowest basis index in both, so the readouts agree exactly.
+func (e *Evaluator) BestSampled(pr Params) (score float64, assign uint64) {
+	if err := pr.Validate(false); err != nil {
+		panic(err)
+	}
+	e.ws.runLayers(pr.Gamma, pr.Beta)
+	assign = e.ws.argmax()
+	return e.Problem.ScoreValue(assign), assign
 }
 
 // Dim returns the number of optimization variables, 2p.

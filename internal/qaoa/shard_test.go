@@ -44,7 +44,7 @@ func TestShardedWorkspaceBitIdenticalToFlat(t *testing.T) {
 	defer runtime.GOMAXPROCS(prev)
 
 	for name, pb := range shardTestProblems(t, n) {
-		flat := newFlatWorkspace(pb.kernel())
+		flat := newFlatWorkspace(pb.kernel(), nil)
 		fgrad := make([]float64, len(x))
 		grad := make([]float64, len(x))
 		for _, shardBits := range []int{0, 1, 2} {
@@ -89,7 +89,7 @@ func TestShardedWorkspaceN24MatchesFlat(t *testing.T) {
 	}
 	pb := mustProblem(t, graph.RandomRegular(24, 3, rand.New(rand.NewSource(241))))
 	x := []float64{0.4, 0.3}
-	flat := newFlatWorkspace(pb.kernel())
+	flat := newFlatWorkspace(pb.kernel(), nil)
 	sharded := pb.NewWorkspaceShards(2)
 	defer sharded.Close()
 

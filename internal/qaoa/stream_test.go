@@ -63,7 +63,7 @@ func TestStreamKernelMatchesMaterializedExactly(t *testing.T) {
 			if !sk.integer {
 				t.Fatalf("integer-weighted graph did not take the exact integer path")
 			}
-			ref := newWorkspace(materializedKernel(g))
+			ref := newWorkspace(materializedKernel(g), nil)
 			got := pb.NewWorkspace()
 			for _, p := range []int{1, 3} {
 				pr := testParams(p)
@@ -108,7 +108,7 @@ func TestStreamKernelMatchesMaterializedFloat(t *testing.T) {
 	if sk.integer {
 		t.Fatal("π-scaled weights must take the float streaming path")
 	}
-	ref := newWorkspace(materializedKernel(g))
+	ref := newWorkspace(materializedKernel(g), nil)
 	got := pb.NewWorkspace()
 	pr := testParams(2)
 	x := pr.Vector()

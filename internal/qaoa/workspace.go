@@ -293,18 +293,32 @@ type EvalWorkspace struct {
 	seedShard    func(lo, hi int) (a, b float64)
 	genShard     func(lo, hi int) (a, b float64)
 	sumXShard    func(lo, hi int) (a, b float64)
+
+	// arena, when non-nil, supplied the state buffers (and supplies the
+	// lazy adjoint buffer); Release returns them there for the next
+	// workspace at this width. A nil arena means plain ownership —
+	// Release degrades to Close.
+	arena *Arena
 }
 
 // NewWorkspace returns a reusable evaluation workspace for the problem.
 // At ShardThreshold qubits and above the state is sharded
 // (DefaultShardBits); results are identical to the flat representation.
 func (pb *Problem) NewWorkspace() *EvalWorkspace {
-	return newWorkspace(pb.kernel())
+	return newWorkspace(pb.kernel(), nil)
+}
+
+// NewWorkspaceArena is NewWorkspace drawing the state-vector buffers
+// from the arena (nil behaves like NewWorkspace). Evaluation results
+// are bit-identical: pooled buffers are always filled before use. Call
+// Release, not Close, so the buffers return to the arena.
+func (pb *Problem) NewWorkspaceArena(a *Arena) *EvalWorkspace {
+	return newWorkspace(pb.kernel(), a)
 }
 
 // NewWorkspace returns a reusable evaluation workspace for the problem.
 func (dp *DiagonalProblem) NewWorkspace() *EvalWorkspace {
-	return newWorkspace(dp.kernel())
+	return newWorkspace(dp.kernel(), nil)
 }
 
 // NewWorkspaceShards returns a workspace whose state is split into
@@ -313,21 +327,22 @@ func (dp *DiagonalProblem) NewWorkspace() *EvalWorkspace {
 // only the memory layout and worker ownership change. Callers should
 // Close the workspace when done.
 func (pb *Problem) NewWorkspaceShards(shardBits int) *EvalWorkspace {
-	return newShardedWorkspace(pb.kernel(), shardBits)
+	return newShardedWorkspace(pb.kernel(), shardBits, nil)
 }
 
-func newWorkspace(k costKernel) *EvalWorkspace {
+func newWorkspace(k costKernel, a *Arena) *EvalWorkspace {
 	if k.qubits() >= ShardThreshold {
-		return newShardedWorkspace(k, DefaultShardBits)
+		return newShardedWorkspace(k, DefaultShardBits, a)
 	}
-	return newFlatWorkspace(k)
+	return newFlatWorkspace(k, a)
 }
 
-func newFlatWorkspace(k costKernel) *EvalWorkspace {
+func newFlatWorkspace(k costKernel, a *Arena) *EvalWorkspace {
 	w := &EvalWorkspace{
 		k:       k,
-		state:   quantum.NewUniformState(k.qubits()),
+		state:   a.getState(k.qubits()),
 		factors: make([]complex128, k.factorLen()),
+		arena:   a,
 	}
 	w.runner = quantum.NewLayerRunner(w.state)
 	w.phaseState = func(lo, hi int) {
@@ -339,14 +354,15 @@ func newFlatWorkspace(k costKernel) *EvalWorkspace {
 	return w
 }
 
-func newShardedWorkspace(k costKernel, shardBits int) *EvalWorkspace {
-	ss := quantum.NewShardedState(k.qubits(), shardBits)
+func newShardedWorkspace(k costKernel, shardBits int, a *Arena) *EvalWorkspace {
+	ss := a.getSharded(k.qubits(), shardBits)
 	ss.FillUniform()
 	w := &EvalWorkspace{
 		k:       k,
 		ss:      ss,
 		sbits:   uint(bits.TrailingZeros(uint(ss.ShardDim()))),
 		factors: make([]complex128, k.factorLen()),
+		arena:   a,
 	}
 	// Sharded chunk bodies receive GLOBAL bounds (the sharded drivers
 	// iterate the same fixed chunk geometry as the flat ones) and map
@@ -371,6 +387,60 @@ func (w *EvalWorkspace) Close() {
 	if w.adjSS != nil {
 		w.adjSS.Close()
 	}
+}
+
+// Release retires the workspace, returning its state buffers to the
+// arena it was built from (arena-less workspaces just Close). The
+// workspace must not be used afterwards. Safe to call more than once.
+func (w *EvalWorkspace) Release() {
+	if w.arena == nil {
+		w.Close()
+		return
+	}
+	a := w.arena
+	w.arena = nil
+	if w.state != nil {
+		a.putState(w.state)
+		w.state = nil
+	}
+	if w.adj != nil {
+		a.putState(w.adj)
+		w.adj = nil
+	}
+	if w.ss != nil {
+		a.putSharded(w.ss)
+		w.ss = nil
+	}
+	if w.adjSS != nil {
+		a.putSharded(w.adjSS)
+		w.adjSS = nil
+	}
+	w.runner, w.adjRunner = nil, nil
+	w.phaseState, w.expectBody = nil, nil
+	w.unphaseBoth, w.seedBody, w.genBody, w.sumXBody = nil, nil, nil, nil
+	w.phaseShard, w.expectShard, w.unphaseShard = nil, nil, nil
+	w.seedShard, w.genShard, w.sumXShard = nil, nil, nil
+}
+
+// argmax returns the index of the most probable basis state of the
+// current workspace state, identical to State.ArgmaxProbability on the
+// flat layout: ties resolve to the lowest global index, so the sharded
+// scan (ascending shards, strict improvement only) matches it exactly.
+func (w *EvalWorkspace) argmax() uint64 {
+	if w.ss == nil {
+		arg, _ := w.state.ArgmaxProbability()
+		return arg
+	}
+	var best uint64
+	bestProb := -1.0
+	for i := 0; i < w.ss.NumShards(); i++ {
+		local, p := w.ss.Shard(i).ArgmaxProbability()
+		if p > bestProb {
+			bestProb = p
+			best = uint64(i)<<w.sbits | local
+		}
+	}
+	return best
 }
 
 // Shards returns how many state-vector shards the workspace evaluates
@@ -418,7 +488,7 @@ func (w *EvalWorkspace) runLayersSharded(gamma, beta []float64) {
 // transient workspace is fine. Always flat: the helpers hand out a
 // *quantum.State.
 func prepareState(k costKernel, gamma, beta []float64) *quantum.State {
-	w := newFlatWorkspace(k)
+	w := newFlatWorkspace(k, nil)
 	w.runLayers(gamma, beta)
 	return w.state
 }
@@ -463,7 +533,7 @@ func (p *wsPool) get(k costKernel) *EvalWorkspace {
 	if w, ok := p.pool.Get().(*EvalWorkspace); ok {
 		return w
 	}
-	return newWorkspace(k)
+	return newWorkspace(k, nil)
 }
 
 func (p *wsPool) put(w *EvalWorkspace) { p.pool.Put(w) }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"qaoaml/internal/problem"
+	"qaoaml/internal/qaoa"
 )
 
 // JobState is the lifecycle of one solve job.
@@ -71,6 +72,11 @@ type Job struct {
 	req  SolveRequest
 	spec problem.Spec
 	fp   string // canonical instance fingerprint
+	cost int64  // admission-control price (0: cache hit, never admitted)
+
+	// arena is the owning worker's buffer arena, set by that worker
+	// just before runJob and read only on its goroutine.
+	arena *qaoa.Arena
 
 	ctx    context.Context
 	cancel context.CancelFunc

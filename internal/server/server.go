@@ -28,6 +28,7 @@ import (
 	"math/rand"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -74,6 +75,16 @@ type Config struct {
 	MaxNodes int
 	// MaxDepth caps the requested circuit depth (default 10).
 	MaxDepth int
+	// MaxBatch caps the item count of one POST /v1/solve/batch request
+	// (default 64).
+	MaxBatch int
+	// MaxInflightCost budgets the summed cost (depth·2^qubits, see
+	// jobCost) of queued-plus-running jobs; submissions beyond it get
+	// 429 + Retry-After. Default: Workers × jobCost(MaxNodes, MaxDepth)
+	// — enough that a pool of worst-case jobs saturates the workers
+	// before admission pushes back, so the budget only bites when the
+	// backlog holds multiple maximal solves.
+	MaxInflightCost int64
 	// Registry resolves two-level model names (nil: empty registry,
 	// naive-only serving until Register is called).
 	Registry *Registry
@@ -109,6 +120,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxDepth <= 0 {
 		c.MaxDepth = 10
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxInflightCost <= 0 {
+		c.MaxInflightCost = int64(c.Workers) * jobCost(c.MaxNodes, c.MaxDepth)
 	}
 	return c
 }
@@ -202,6 +219,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	inflight map[string]*Job // cache key → queued/running job
+	adm      admission       // cost budget, guarded by mu
 	draining bool
 
 	baseCtx    context.Context
@@ -225,7 +243,7 @@ func New(cfg Config) *Server {
 	if reg == nil {
 		reg, _ = NewRegistry("")
 	}
-	for _, route := range []string{"solve", "jobs", "healthz", "metrics"} {
+	for _, route := range []string{"solve", "batch", "jobs", "healthz", "metrics"} {
 		mem.DefineBuckets("server.http."+route+"_ms", telemetry.ExpBuckets(0.25, 2, 18))
 	}
 	s := &Server{
@@ -237,10 +255,12 @@ func New(cfg Config) *Server {
 		queue:    make(chan *Job, cfg.QueueDepth),
 		inflight: make(map[string]*Job),
 	}
+	s.adm = admission{budget: cfg.MaxInflightCost}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.solveFn = s.runSolve
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/solve", s.timed("solve", s.handleSolve))
+	s.mux.HandleFunc("POST /v1/solve/batch", s.timed("batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.timed("jobs", s.handleJobGet))
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.timed("jobs", s.handleJobCancel))
 	s.mux.HandleFunc("GET /healthz", s.timed("healthz", s.handleHealthz))
@@ -299,10 +319,13 @@ func (s *Server) Close() {
 
 // ---- submission ----
 
-// httpError carries a status code with the message.
+// httpError carries a status code with the message. retryAfter (whole
+// seconds, 429s only) is the admission layer's estimated wait; zero
+// falls back to 1.
 type httpError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter int
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -573,6 +596,19 @@ func (s *Server) submit(req SolveRequest, spec problem.Spec) (*Job, submitOutcom
 		return j, outcomeCoalesced, nil
 	}
 
+	// Cost-priced admission: reserve the job's cost against the global
+	// in-flight budget before it may take a queue slot. Cache hits and
+	// coalesced requests above never reach here — they add no work.
+	cost := costOf(req, spec)
+	if !s.adm.admit(cost) {
+		s.mem.Count("server.admission.rejected", 1)
+		return nil, 0, &httpError{
+			code:       http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("in-flight cost budget exhausted (job cost %d, in flight %d of %d), retry later", cost, s.adm.inflight, s.adm.budget),
+			retryAfter: s.adm.retryAfter(cost),
+		}
+	}
+
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {
 		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
@@ -582,7 +618,7 @@ func (s *Server) submit(req SolveRequest, spec problem.Spec) (*Job, submitOutcom
 	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 	job := &Job{
-		ID: s.jobs.nextID(), Key: key, req: req, spec: spec, fp: fp,
+		ID: s.jobs.nextID(), Key: key, req: req, spec: spec, fp: fp, cost: cost,
 		ctx: ctx, cancel: cancel, done: make(chan struct{}),
 		state: StateQueued, enqueued: time.Now(),
 	}
@@ -590,9 +626,11 @@ func (s *Server) submit(req SolveRequest, spec problem.Spec) (*Job, submitOutcom
 	case s.queue <- job:
 	default:
 		cancel()
+		s.adm.unadmit(cost)
 		s.mem.Count("server.http.backpressure", 1)
 		return nil, 0, &httpError{code: http.StatusTooManyRequests, msg: "job queue full, retry later"}
 	}
+	s.mem.Count("server.cost.inflight", cost)
 	s.jobs.add(job)
 	s.inflight[key] = job
 	s.mem.Count("server.jobs.submitted", 1)
@@ -631,14 +669,32 @@ func (s *Server) completeJob(j *Job, state JobState, res *SolveResult, errMsg st
 	}
 }
 
-// afterFinish clears the single-flight slot, feeds the cache, and
-// counts the terminal state. Called exactly once per job.
+// afterFinish clears the single-flight slot, retires the job's cost
+// reservation, feeds the cache, and counts the terminal state. Called
+// exactly once per job.
 func (s *Server) afterFinish(j *Job, state JobState) {
+	var seconds float64
+	if j.cost > 0 {
+		// Wall time feeds the admission layer's retire-rate estimate;
+		// jobs cancelled straight out of the queue never ran and are
+		// excluded (zero seconds).
+		j.mu.Lock()
+		if !j.started.IsZero() && !j.finished.IsZero() {
+			seconds = j.finished.Sub(j.started).Seconds()
+		}
+		j.mu.Unlock()
+	}
 	s.mu.Lock()
 	if s.inflight[j.Key] == j {
 		delete(s.inflight, j.Key)
 	}
+	if j.cost > 0 {
+		s.adm.release(j.cost, seconds)
+	}
 	s.mu.Unlock()
+	if j.cost > 0 {
+		s.mem.Count("server.cost.inflight", -j.cost)
+	}
 	if state == StateDone {
 		j.mu.Lock()
 		res := j.result
@@ -650,11 +706,30 @@ func (s *Server) afterFinish(j *Job, state JobState) {
 
 // ---- worker pool ----
 
+// worker drains the queue. Each worker owns one qaoa.Arena for the
+// life of the pool: consecutive jobs at the same register width reuse
+// the same 2^n state vectors instead of reallocating them, which is
+// what keeps steady-state solves free of state-vector-sized
+// allocations (pinned by TestSteadyStateAllocations). The arena is
+// worker-local, so no cross-worker synchronization touches the hot
+// buffers; its hit/get counters surface as server.arena.* on /metrics.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	arena := qaoa.NewArena(0)
+	defer arena.Close()
+	var lastGets, lastHits int64
 	for job := range s.queue {
 		s.mem.Count("server.queue.depth", -1)
+		job.arena = arena
 		s.runJob(job)
+		st := arena.Stats()
+		if d := st.Gets - lastGets; d > 0 {
+			s.mem.Count("server.arena.gets", d)
+		}
+		if d := st.Hits - lastHits; d > 0 {
+			s.mem.Count("server.arena.hits", d)
+		}
+		lastGets, lastHits = st.Gets, st.Hits
 	}
 }
 
@@ -698,7 +773,7 @@ func (s *Server) runSolve(ctx context.Context, job *Job) (*SolveResult, error) {
 	var res *SolveResult
 	switch job.req.Strategy {
 	case StrategyNaive:
-		r, err := core.NaiveRunCtx(ctx, pb, job.req.Depth, opt, rng, s.mem)
+		r, err := core.NaiveRunArena(ctx, job.arena, pb, job.req.Depth, opt, rng, s.mem)
 		if err != nil {
 			return nil, err
 		}
@@ -712,7 +787,7 @@ func (s *Server) runSolve(ctx context.Context, job *Job) (*SolveResult, error) {
 		if !ok {
 			return nil, fmt.Errorf("model %q disappeared from the registry", job.req.Model)
 		}
-		r, err := core.TwoLevelCtx(ctx, pb, job.req.Depth, opt, pred, rng, s.mem)
+		r, err := core.TwoLevelArena(ctx, job.arena, pb, job.req.Depth, opt, pred, rng, s.mem)
 		if err != nil {
 			return nil, err
 		}
@@ -728,8 +803,14 @@ func (s *Server) runSolve(ctx context.Context, job *Job) (*SolveResult, error) {
 	res.Fingerprint = job.fp
 	// Read out the most probable assignment at the final parameters —
 	// the solution a client acts on — masked to the decision variables
-	// (quadratization auxiliaries are an encoding detail).
-	score, assign := pb.BestSampled(qaoa.Params{Gamma: res.Gamma, Beta: res.Beta})
+	// (quadratization auxiliaries are an encoding detail). The readout
+	// evaluator draws from the worker arena, so it reuses the buffers
+	// the optimization just released instead of building a transient
+	// 2^n state (Problem.BestSampled's behavior); ties resolve
+	// identically, so the readout is unchanged.
+	rd := qaoa.NewEvaluatorArena(pb, len(res.Gamma), job.arena)
+	score, assign := rd.BestSampled(qaoa.Params{Gamma: res.Gamma, Beta: res.Beta})
+	rd.Release()
 	res.Objective = score
 	vars := pb.NumQubits()
 	if pb.Inst != nil {
@@ -787,7 +868,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, e *httpError) {
 	if e.code == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		after := e.retryAfter
+		if after < 1 {
+			after = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(after))
 	}
 	writeJSON(w, e.code, map[string]string{"error": e.msg})
 }
@@ -862,6 +947,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	queued := len(s.queue)
+	costInflight := s.adm.inflight
 	s.mu.Unlock()
 	status, code := "ok", http.StatusOK
 	if draining {
@@ -876,6 +962,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"models":        s.registry.Names(),
 		"jobs":          s.jobs.len(),
 		"qubit_ceiling": s.cfg.MaxNodes,
+		"cost_inflight": costInflight,
+		"cost_budget":   s.cfg.MaxInflightCost,
+		"batch_max":     s.cfg.MaxBatch,
 	})
 }
 
