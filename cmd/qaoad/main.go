@@ -20,6 +20,15 @@
 // model at startup when the directory provides none. SIGINT/SIGTERM
 // drain gracefully: accepted jobs finish (up to -drain-grace), new
 // submissions get 503.
+//
+// Fleet mode (-role): "single" (default) serves and solves in one
+// process; "worker" is the same but typically fronted by a
+// coordinator; "coordinator" admits, dedups, journals and fans solves
+// out to the -peers workers by consistent-hashed fingerprint, so each
+// worker's result cache owns a shard of the key space. -wal journals
+// accepted jobs and results to an fsync'd write-ahead log (any role):
+// on restart, completed results re-seed the cache and incomplete jobs
+// re-enqueue, so kill -9 loses no accepted work.
 package main
 
 import (
@@ -33,11 +42,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"qaoaml/internal/cluster"
 	"qaoaml/internal/core"
 	"qaoaml/internal/server"
+	"qaoaml/internal/telemetry"
 )
 
 type daemonConfig struct {
@@ -50,6 +62,11 @@ type daemonConfig struct {
 	trainGraphs int
 	trainDepth  int
 	trainSeed   int64
+
+	role         string
+	peers        string
+	wal          string
+	workerBudget int64
 
 	srv server.Config
 }
@@ -71,6 +88,10 @@ func registerFlags(fs *flag.FlagSet, c *daemonConfig) {
 	fs.DurationVar(&c.srv.MaxTimeout, "max-timeout", 0, "cap on requested per-job deadlines (0 = 10m)")
 	fs.IntVar(&c.srv.MaxNodes, "max-nodes", 0, "largest accepted instance (0 = default 20, hard cap 30)")
 	fs.IntVar(&c.srv.MaxDepth, "max-depth", 0, "largest accepted circuit depth (0 = default 10)")
+	fs.StringVar(&c.role, "role", "single", "fleet role: single, coordinator or worker")
+	fs.StringVar(&c.peers, "peers", "", "comma-separated worker base URLs (coordinator role)")
+	fs.StringVar(&c.wal, "wal", "", "write-ahead log path for durable job journaling (empty = no journal)")
+	fs.Int64Var(&c.workerBudget, "worker-budget", 0, "per-worker in-flight cost cap for dispatch (0 = uncapped)")
 }
 
 func main() {
@@ -104,7 +125,65 @@ func run(cfg daemonConfig) error {
 	}
 
 	cfg.srv.Registry = reg
+	if cfg.srv.Recorder == nil {
+		cfg.srv.Recorder = telemetry.NewMemory()
+	}
+
+	// Fleet wiring. The WAL (any role) journals accepted jobs and
+	// results; the dispatcher (coordinator role) fans solves out to the
+	// -peers workers. Both plug into the server through its Journal and
+	// Dispatcher config seams — nil means plain single-process serving.
+	var recovery *cluster.Recovery
+	if cfg.wal != "" {
+		wal, rec, err := cluster.OpenWAL(cfg.wal)
+		if err != nil {
+			return err
+		}
+		defer wal.Close()
+		cfg.srv.Journal = wal
+		recovery = rec
+		if rec.Torn {
+			logger.Printf("wal %s: dropped a torn tail record (mid-write crash)", cfg.wal)
+		}
+	}
+	switch cfg.role {
+	case "single", "worker":
+		if cfg.peers != "" {
+			return fmt.Errorf("-peers is only meaningful with -role=coordinator")
+		}
+	case "coordinator":
+		disp, err := cluster.NewDispatcher(cluster.DispatcherConfig{
+			Workers:      splitPeers(cfg.peers),
+			WorkerBudget: cfg.workerBudget,
+			Recorder:     cfg.srv.Recorder,
+		})
+		if err != nil {
+			return err
+		}
+		defer disp.Close()
+		cfg.srv.Dispatcher = disp
+		logger.Printf("coordinator: dispatching to %d workers", len(splitPeers(cfg.peers)))
+	default:
+		return fmt.Errorf("unknown -role %q (single, coordinator or worker)", cfg.role)
+	}
+
 	s := server.New(cfg.srv)
+
+	if recovery != nil && (len(recovery.Completed) > 0 || len(recovery.Incomplete) > 0) {
+		for _, c := range recovery.Completed {
+			s.SeedCache(c.Key, c.Result)
+		}
+		requeued := 0
+		for _, in := range recovery.Incomplete {
+			if _, err := s.Resubmit(in.Req); err != nil {
+				logger.Printf("wal recovery: re-enqueueing %s: %v", in.Key, err)
+				continue
+			}
+			requeued++
+		}
+		logger.Printf("wal recovery: %d results re-cached, %d/%d incomplete jobs re-enqueued",
+			len(recovery.Completed), requeued, len(recovery.Incomplete))
+	}
 
 	// SIGHUP hot-reloads the model directory for the daemon's lifetime.
 	hupCtx, hupCancel := context.WithCancel(context.Background())
@@ -165,6 +244,17 @@ func run(cfg daemonConfig) error {
 		logger.Printf("drained cleanly")
 	}
 	return nil
+}
+
+// splitPeers parses the -peers roster.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // trainDefault generates a small dataset and trains the "default"

@@ -25,6 +25,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"qaoaml/internal/cluster"
 	"qaoaml/internal/core"
 	"qaoaml/internal/graph"
 	"qaoaml/internal/server"
@@ -73,6 +75,16 @@ type Entry struct {
 	CacheHitRate       float64 `json:"cache_hit_rate"`
 	WorkspaceReuseRate float64 `json:"workspace_reuse_rate"`
 	FevTotal           int64   `json:"fev_total,omitempty"` // optimizer objective calls spent
+
+	// SSE sampling (-sse): a fraction of requests are submitted
+	// wait=false and followed over GET /v1/jobs/{id}/events instead of
+	// blocking on the response. TimeToFirstEvent is the mean delay from
+	// submission to the first streamed event (how quickly progress
+	// becomes visible); EventsPerSec is streamed events over summed
+	// stream lifetime.
+	SSESampled            int64   `json:"sse_sampled,omitempty"`
+	SSETimeToFirstEventMs float64 `json:"sse_ttfe_ms,omitempty"`
+	SSEEventsPerSec       float64 `json:"sse_events_per_sec,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -101,6 +113,7 @@ func main() {
 		strategy  = flag.String("strategy", "naive", "solve strategy: naive or two-level")
 		optimizer = flag.String("optimizer", "lbfgsb", "optimizer name passed through to the server")
 		batch     = flag.Int("batch", 0, "items per POST /v1/solve/batch request (0 = individual /v1/solve)")
+		sse       = flag.Float64("sse", 0, "fraction of solve requests to follow via the SSE event stream (0 = off; incompatible with -batch)")
 		name      = flag.String("name", "", "entry name (default derived from the workload)")
 		out       = flag.String("out", "BENCH_server.json", "output file ('-' = stdout)")
 		check     = flag.String("check", "", "validate an existing report file and exit")
@@ -117,6 +130,19 @@ func main() {
 	}
 	if *rate <= 0 || *duration <= 0 || *instances < 1 || *batch < 0 {
 		fatal(fmt.Errorf("-rate and -duration must be positive, -instances >= 1, -batch >= 0"))
+	}
+	if *sse < 0 || *sse > 1 {
+		fatal(fmt.Errorf("-sse must be in [0, 1]"))
+	}
+	if *sse > 0 && *batch > 0 {
+		fatal(fmt.Errorf("-sse samples individual solves; drop -batch"))
+	}
+	sseEvery := 0 // sample every Nth request
+	if *sse > 0 {
+		sseEvery = int(1/(*sse) + 0.5)
+		if sseEvery < 1 {
+			sseEvery = 1
+		}
 	}
 
 	pool, err := buildPool(workload{
@@ -142,7 +168,7 @@ func main() {
 		fatal(fmt.Errorf("scraping /metrics: %w (is the server up?)", err))
 	}
 
-	e := offerLoad(base, pool, *rate, *duration, *batch)
+	e := offerLoad(base, pool, *rate, *duration, *batch, sseEvery)
 
 	after, err := scrapeCounters(base)
 	if err != nil {
@@ -170,6 +196,10 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "%-32s %8.1f items/s  p50 %.1fms  p99 %.1fms  cache %.0f%%  reuse %.0f%%  (%d items, %d rejected, %d failed)\n",
 		e.Name, e.ThroughputRPS, e.P50Ms, e.P99Ms, 100*e.CacheHitRate, 100*e.WorkspaceReuseRate, e.Items, e.Rejected, e.Failed)
+	if e.SSESampled > 0 {
+		fmt.Fprintf(os.Stderr, "%-32s %8d streams   ttfe %.1fms  %.1f events/s\n",
+			"  sse", e.SSESampled, e.SSETimeToFirstEventMs, e.SSEEventsPerSec)
+	}
 
 	rep := Report{
 		Package:    "qaoaml",
@@ -268,11 +298,18 @@ type collector struct {
 	mu        sync.Mutex
 	latencies []float64 // ms, one per HTTP request
 	e         Entry
+
+	// SSE sampling accumulators (reduced into e after the run).
+	sseTTFEMsSum float64 // sum of time-to-first-event, ms
+	sseStreamS   float64 // summed stream lifetimes, seconds
+	sseEvents    int64   // events received across sampled streams
 }
 
 // offerLoad drives the server at the fixed arrival rate for the given
-// duration, then waits for every outstanding request to return.
-func offerLoad(base string, pool []server.SolveRequest, rate float64, duration time.Duration, batch int) Entry {
+// duration, then waits for every outstanding request to return. When
+// sseEvery > 0 every sseEvery-th solve is followed over its SSE event
+// stream instead of blocking on the response.
+func offerLoad(base string, pool []server.SolveRequest, rate float64, duration time.Duration, batch, sseEvery int) Entry {
 	client := &http.Client{} // no client timeout: the server bounds jobs
 	col := &collector{}
 	interval := time.Duration(float64(time.Second) / rate)
@@ -292,9 +329,12 @@ loop:
 			wg.Add(1)
 			go func(k int) {
 				defer wg.Done()
-				if batch > 0 {
+				switch {
+				case batch > 0:
 					doBatch(client, base, pool, k, batch, col)
-				} else {
+				case sseEvery > 0 && k%sseEvery == 0:
+					doSolveSSE(client, base, pool[k%len(pool)], col)
+				default:
 					doSolve(client, base, pool[k%len(pool)], col)
 				}
 			}(k)
@@ -314,6 +354,12 @@ loop:
 	e.P99Ms = percentile(col.latencies, 99)
 	if elapsed > 0 {
 		e.ThroughputRPS = float64(e.Done) / elapsed
+	}
+	if e.SSESampled > 0 {
+		e.SSETimeToFirstEventMs = col.sseTTFEMsSum / float64(e.SSESampled)
+		if col.sseStreamS > 0 {
+			e.SSEEventsPerSec = float64(col.sseEvents) / col.sseStreamS
+		}
 	}
 	return e
 }
@@ -345,6 +391,92 @@ func doSolve(client *http.Client, base string, req server.SolveRequest, col *col
 	default:
 		col.countView(&view)
 	}
+}
+
+// doSolveSSE submits one solve without waiting, then follows the job's
+// SSE event stream to its terminal result, recording how quickly the
+// first event arrived and the stream's event rate. Latency for sampled
+// requests is submit-to-terminal-event, so they remain comparable to
+// blocking solves.
+func doSolveSSE(client *http.Client, base string, req server.SolveRequest, col *collector) {
+	req.Wait = false
+	blob, _ := json.Marshal(req)
+	start := time.Now()
+
+	fail := func() {
+		col.mu.Lock()
+		defer col.mu.Unlock()
+		col.e.Requests++
+		col.e.Items++
+		col.e.Failed++
+		col.latencies = append(col.latencies, float64(time.Since(start).Nanoseconds())/1e6)
+	}
+
+	resp, err := client.Post(base+"/v1/solve", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		fail()
+		return
+	}
+	var view server.JobView
+	decodeErr := json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		col.mu.Lock()
+		defer col.mu.Unlock()
+		col.e.Requests++
+		col.e.Items++
+		col.e.Rejected++
+		col.latencies = append(col.latencies, float64(time.Since(start).Nanoseconds())/1e6)
+		return
+	}
+	// 202 for a fresh/inflight job, 200 for a cache hit born terminal;
+	// either way the event stream replays up to the result.
+	if (resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK) || decodeErr != nil {
+		fail()
+		return
+	}
+
+	stream, err := cluster.OpenEvents(context.Background(), client, base, view.ID)
+	if err != nil {
+		fail()
+		return
+	}
+	defer stream.Close()
+
+	var (
+		ttfeMs float64
+		events int64
+		final  *server.JobView
+	)
+	for {
+		ev, err := stream.Next()
+		if err != nil {
+			break
+		}
+		if events == 0 {
+			ttfeMs = float64(time.Since(start).Nanoseconds()) / 1e6
+		}
+		events++
+		if ev.Name == server.EventResult {
+			var v server.JobView
+			if json.Unmarshal(ev.Data, &v) == nil {
+				final = &v
+			}
+			break
+		}
+	}
+	totalMs := float64(time.Since(start).Nanoseconds()) / 1e6
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.e.Requests++
+	col.e.Items++
+	col.latencies = append(col.latencies, totalMs)
+	col.e.SSESampled++
+	col.sseTTFEMsSum += ttfeMs
+	col.sseStreamS += totalMs / 1e3
+	col.sseEvents += events
+	col.countView(final) // nil (stream broke before the result) counts as failed
 }
 
 // doBatch sends one POST /v1/solve/batch with `size` consecutive pool
@@ -547,6 +679,12 @@ func checkReport(path string) error {
 			return fmt.Errorf("%s: latency percentiles out of order (p50 %.3f, p99 %.3f)", where, e.P50Ms, e.P99Ms)
 		case e.CacheHitRate < 0 || e.CacheHitRate > 1 || e.WorkspaceReuseRate < 0 || e.WorkspaceReuseRate > 1:
 			return fmt.Errorf("%s: rates out of [0,1]", where)
+		case e.SSESampled < 0 || e.SSESampled > e.Items:
+			return fmt.Errorf("%s: sse_sampled=%d outside [0, items=%d]", where, e.SSESampled, e.Items)
+		case e.SSESampled > 0 && (e.SSETimeToFirstEventMs < 0 || e.SSEEventsPerSec < 0):
+			return fmt.Errorf("%s: negative sse stream metrics", where)
+		case e.SSESampled == 0 && (e.SSETimeToFirstEventMs != 0 || e.SSEEventsPerSec != 0):
+			return fmt.Errorf("%s: sse metrics present with zero sampled streams", where)
 		}
 	}
 	return nil

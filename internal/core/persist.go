@@ -14,13 +14,22 @@ import (
 // The dataset takes minutes to generate at paper scale but is a
 // one-time cost (Sec. III-A); Save/Load let the CLI and downstream
 // users generate once and retrain/re-evaluate cheaply.
+//
+// Two schema versions coexist. Version 1 (edge lists only) is what
+// every MaxCut dataset ever written uses, and MaxCut datasets still
+// write it byte-identically. Version 2 persists the full problem.Spec
+// per instance — the tagged family union mirroring the qaoad wire
+// schema — so qubo/maxksat/partition/portfolio/coloring datasets
+// round-trip too. Load accepts both.
 
-// dataFile is the JSON schema of a persisted dataset.
+// dataFile is the JSON schema of a persisted dataset. Graphs is the v1
+// instance payload, Specs the v2 one; exactly one is populated.
 type dataFile struct {
 	Version int            `json:"version"`
 	Config  configFile     `json:"config"`
-	Graphs  [][][2]int     `json:"graphs"` // edge lists, one per graph
-	Nodes   int            `json:"nodes"`
+	Graphs  [][][2]int     `json:"graphs,omitempty"` // v1: edge lists, one per graph
+	Nodes   int            `json:"nodes,omitempty"`
+	Specs   []specFile     `json:"specs,omitempty"` // v2: full problem specs
 	Records [][]recordFile `json:"records"`
 }
 
@@ -46,15 +55,59 @@ type recordFile struct {
 	MeanFev float64   `json:"mean_fev"`
 }
 
-const dataFileVersion = 1
+// specFile is the v2 per-instance payload: one family tag plus that
+// family's fields, mirroring the qaoad wire schema (internal/server's
+// SolveRequest) field for field.
+type specFile struct {
+	Family  string    `json:"family"`
+	Nodes   int       `json:"nodes,omitempty"`
+	Edges   [][2]int  `json:"edges,omitempty"`
+	Weights []float64 `json:"weights,omitempty"` // parallel to Edges; nil = unweighted
 
-// Save serializes the dataset as JSON. The edge-list schema only
-// covers graph-backed datasets; non-MaxCut families regenerate their
-// instances deterministically from (family, seed), so persisting the
-// records with the config is a future schema version.
+	// qubo
+	Linear []float64      `json:"linear,omitempty"`
+	Quad   []quadTermFile `json:"quad,omitempty"`
+	Offset float64        `json:"offset,omitempty"`
+	Sense  string         `json:"sense,omitempty"` // "min" or "max"
+	Vars   int            `json:"vars,omitempty"`
+
+	// maxksat
+	Clauses       [][]int   `json:"clauses,omitempty"`
+	ClauseWeights []float64 `json:"clause_weights,omitempty"`
+
+	// partition
+	Numbers []float64 `json:"numbers,omitempty"`
+
+	// portfolio
+	Returns      []float64   `json:"returns,omitempty"`
+	Covariance   [][]float64 `json:"covariance,omitempty"`
+	RiskAversion float64     `json:"risk_aversion,omitempty"`
+	Budget       int         `json:"budget,omitempty"`
+	Penalty      float64     `json:"penalty,omitempty"`
+
+	// coloring
+	Colors   int     `json:"colors,omitempty"`
+	PenaltyA float64 `json:"penalty_a,omitempty"`
+	PenaltyB float64 `json:"penalty_b,omitempty"`
+}
+
+type quadTermFile struct {
+	I int     `json:"i"`
+	J int     `json:"j"`
+	W float64 `json:"w"`
+}
+
+const (
+	dataFileVersion   = 1 // MaxCut: edge lists (every pre-v2 file)
+	dataFileVersionV2 = 2 // any family: full problem specs
+)
+
+// Save serializes the dataset as JSON. MaxCut datasets keep writing
+// schema v1 byte-identically (edge lists); every other family writes
+// v2 with the full per-instance spec.
 func (d *Data) Save(w io.Writer) error {
 	if d.Config.Family != "" && d.Config.Family != problem.FamilyMaxCut {
-		return fmt.Errorf("core: persisting %q datasets is not supported (schema v%d stores edge lists)", d.Config.Family, dataFileVersion)
+		return d.saveV2(w)
 	}
 	df := dataFile{
 		Version: dataFileVersion,
@@ -92,6 +145,169 @@ func (d *Data) Save(w io.Writer) error {
 	return enc.Encode(df)
 }
 
+// saveV2 serializes a non-MaxCut dataset: the same config and record
+// layout as v1, with full problem specs in place of edge lists.
+func (d *Data) saveV2(w io.Writer) error {
+	df := dataFile{
+		Version: dataFileVersionV2,
+		Config: configFile{
+			NumGraphs: d.Config.NumGraphs,
+			Nodes:     d.Config.Nodes,
+			EdgeProb:  d.Config.EdgeProb,
+			MaxDepth:  d.Config.MaxDepth,
+			Starts:    d.Config.Starts,
+			Tol:       d.Config.Tol,
+			Seed:      d.Config.Seed,
+			Family:    d.Config.Family,
+		},
+	}
+	for i, pb := range d.Problems {
+		sf, err := encodeSpec(pb.Spec)
+		if err != nil {
+			return fmt.Errorf("core: instance %d: %w", i, err)
+		}
+		df.Specs = append(df.Specs, sf)
+	}
+	df.Records = encodeRecords(d.Records)
+	return json.NewEncoder(w).Encode(df)
+}
+
+func encodeRecords(records [][]Record) [][]recordFile {
+	var out [][]recordFile
+	for _, recs := range records {
+		var rf []recordFile
+		for _, r := range recs {
+			rf = append(rf, recordFile{
+				GraphID: r.GraphID, Depth: r.Depth,
+				Gamma: r.Params.Gamma, Beta: r.Params.Beta,
+				NegF: r.NegF, AR: r.AR, NFev: r.NFev, MeanFev: r.MeanFev,
+			})
+		}
+		out = append(out, rf)
+	}
+	return out
+}
+
+// encodeSpec lowers one problem.Spec to the tagged v2 union.
+func encodeSpec(s problem.Spec) (specFile, error) {
+	sf := specFile{Family: s.Family}
+	switch s.Family {
+	case problem.FamilyMaxCut, problem.FamilyColoring:
+		if s.Graph == nil {
+			return sf, fmt.Errorf("%s spec has no graph", s.Family)
+		}
+		sf.Nodes = s.Graph.N
+		for _, e := range s.Graph.Edges() {
+			sf.Edges = append(sf.Edges, [2]int{e.U, e.V})
+		}
+		if s.Graph.Weighted() {
+			sf.Weights = s.Graph.Weights()
+		}
+		sf.Colors = s.Colors
+		sf.PenaltyA = s.PenaltyA
+		sf.PenaltyB = s.PenaltyB
+	case problem.FamilyQUBO:
+		if s.Inst == nil {
+			return sf, fmt.Errorf("qubo spec has no instance")
+		}
+		sf.Nodes = s.Inst.N
+		sf.Vars = s.Inst.Vars
+		sf.Linear = s.Inst.Linear
+		sf.Offset = s.Inst.Offset
+		if s.Inst.Sense == problem.Maximize {
+			sf.Sense = "max"
+		} else {
+			sf.Sense = "min"
+		}
+		for _, t := range s.Inst.Quad {
+			sf.Quad = append(sf.Quad, quadTermFile{I: t.I, J: t.J, W: t.W})
+		}
+	case problem.FamilyMaxKSAT:
+		if s.Formula == nil {
+			return sf, fmt.Errorf("maxksat spec has no formula")
+		}
+		sf.Vars = s.Formula.Vars
+		for _, cl := range s.Formula.Clauses {
+			sf.Clauses = append(sf.Clauses, append([]int(nil), cl...))
+		}
+		sf.ClauseWeights = s.Formula.Weights
+	case problem.FamilyPartition:
+		sf.Numbers = s.Numbers
+	case problem.FamilyPortfolio:
+		if s.Port == nil {
+			return sf, fmt.Errorf("portfolio spec has no payload")
+		}
+		sf.Returns = s.Port.Returns
+		sf.Covariance = s.Port.Covariance
+		sf.RiskAversion = s.Port.RiskAversion
+		sf.Budget = s.Port.Budget
+		sf.Penalty = s.Port.Penalty
+	default:
+		return sf, fmt.Errorf("unknown family %q", s.Family)
+	}
+	return sf, nil
+}
+
+// decodeSpec rebuilds the problem.Spec a v2 file carries.
+func decodeSpec(sf specFile) (problem.Spec, error) {
+	var zero problem.Spec
+	switch sf.Family {
+	case problem.FamilyMaxCut, problem.FamilyColoring:
+		g := graph.New(sf.Nodes)
+		for ei, e := range sf.Edges {
+			w := 1.0
+			if sf.Weights != nil {
+				if ei >= len(sf.Weights) {
+					return zero, fmt.Errorf("%d weights for %d edges", len(sf.Weights), len(sf.Edges))
+				}
+				w = sf.Weights[ei]
+			}
+			if err := g.AddWeightedEdge(e[0], e[1], w); err != nil {
+				return zero, err
+			}
+		}
+		if sf.Family == problem.FamilyMaxCut {
+			return problem.MaxCut(g), nil
+		}
+		s := problem.Coloring(g, sf.Colors)
+		s.PenaltyA = sf.PenaltyA
+		s.PenaltyB = sf.PenaltyB
+		return s, nil
+	case problem.FamilyQUBO:
+		sense := problem.Minimize
+		if sf.Sense == "max" {
+			sense = problem.Maximize
+		}
+		vars := sf.Vars
+		if vars == 0 {
+			vars = sf.Nodes
+		}
+		in := &problem.Instance{
+			Family: problem.FamilyQUBO, Sense: sense,
+			N: sf.Nodes, Vars: vars,
+			Linear: sf.Linear, Offset: sf.Offset,
+		}
+		for _, t := range sf.Quad {
+			in.Quad = append(in.Quad, problem.Term{I: t.I, J: t.J, W: t.W})
+		}
+		return problem.FromInstance(in), nil
+	case problem.FamilyMaxKSAT:
+		f := &problem.Formula{Vars: sf.Vars, Weights: sf.ClauseWeights}
+		for _, cl := range sf.Clauses {
+			f.Clauses = append(f.Clauses, problem.Clause(append([]int(nil), cl...)))
+		}
+		return problem.MaxKSAT(f), nil
+	case problem.FamilyPartition:
+		return problem.Partition(sf.Numbers), nil
+	case problem.FamilyPortfolio:
+		return problem.Portfolio(&problem.PortfolioSpec{
+			Returns: sf.Returns, Covariance: sf.Covariance,
+			RiskAversion: sf.RiskAversion, Budget: sf.Budget, Penalty: sf.Penalty,
+		}), nil
+	}
+	return zero, fmt.Errorf("unknown family %q", sf.Family)
+}
+
 // SaveFile writes the dataset to path.
 func (d *Data) SaveFile(path string) error {
 	f, err := os.Create(path)
@@ -105,18 +321,16 @@ func (d *Data) SaveFile(path string) error {
 	return f.Close()
 }
 
-// Load deserializes a dataset previously written by Save, rebuilding
-// the per-graph cost tables and exact optima.
+// Load deserializes a dataset previously written by Save (either
+// schema version), rebuilding the per-instance cost structures and
+// exact optima.
 func Load(r io.Reader) (*Data, error) {
 	var df dataFile
 	if err := json.NewDecoder(r).Decode(&df); err != nil {
 		return nil, fmt.Errorf("core: decoding dataset: %w", err)
 	}
-	if df.Version != dataFileVersion {
-		return nil, fmt.Errorf("core: unsupported dataset version %d (want %d)", df.Version, dataFileVersion)
-	}
-	if len(df.Graphs) != len(df.Records) {
-		return nil, fmt.Errorf("core: dataset has %d graphs but %d record rows", len(df.Graphs), len(df.Records))
+	if df.Version != dataFileVersion && df.Version != dataFileVersionV2 {
+		return nil, fmt.Errorf("core: unsupported dataset version %d (want %d or %d)", df.Version, dataFileVersion, dataFileVersionV2)
 	}
 	d := &Data{
 		Config: DataGenConfig{
@@ -135,18 +349,39 @@ func Load(r io.Reader) (*Data, error) {
 	if d.Config.Family == "" {
 		d.Config.Family = problem.FamilyMaxCut
 	}
-	for gi, edges := range df.Graphs {
-		g := graph.New(df.Nodes)
-		for _, e := range edges {
-			if err := g.AddEdge(e[0], e[1]); err != nil {
+	switch df.Version {
+	case dataFileVersion:
+		if len(df.Graphs) != len(df.Records) {
+			return nil, fmt.Errorf("core: dataset has %d graphs but %d record rows", len(df.Graphs), len(df.Records))
+		}
+		for gi, edges := range df.Graphs {
+			g := graph.New(df.Nodes)
+			for _, e := range edges {
+				if err := g.AddEdge(e[0], e[1]); err != nil {
+					return nil, fmt.Errorf("core: dataset graph %d: %w", gi, err)
+				}
+			}
+			pb, err := qaoa.NewProblem(g)
+			if err != nil {
 				return nil, fmt.Errorf("core: dataset graph %d: %w", gi, err)
 			}
+			d.Problems = append(d.Problems, pb)
 		}
-		pb, err := qaoa.NewProblem(g)
-		if err != nil {
-			return nil, fmt.Errorf("core: dataset graph %d: %w", gi, err)
+	case dataFileVersionV2:
+		if len(df.Specs) != len(df.Records) {
+			return nil, fmt.Errorf("core: dataset has %d specs but %d record rows", len(df.Specs), len(df.Records))
 		}
-		d.Problems = append(d.Problems, pb)
+		for si, sf := range df.Specs {
+			spec, err := decodeSpec(sf)
+			if err != nil {
+				return nil, fmt.Errorf("core: dataset instance %d: %w", si, err)
+			}
+			pb, err := qaoa.New(spec)
+			if err != nil {
+				return nil, fmt.Errorf("core: dataset instance %d: %w", si, err)
+			}
+			d.Problems = append(d.Problems, pb)
+		}
 	}
 	for gi, rf := range df.Records {
 		if len(rf) != d.Config.MaxDepth {

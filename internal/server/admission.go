@@ -12,6 +12,11 @@ import "qaoaml/internal/problem"
 // small jobs keep flowing through the remainder. The queue-depth bound
 // stays as a second, count-based backstop.
 
+// JobCost is the exported cost model: what one solve is priced at by
+// admission control, and the unit internal/cluster budgets per-worker
+// dispatch in. See jobCost.
+func JobCost(qubits, depth int) int64 { return jobCost(qubits, depth) }
+
 // jobCost prices one solve: depth × 2^qubits. 2^n is both the
 // state-vector memory the job pins and the per-layer kernel work;
 // depth multiplies the layers per objective call. The unit is
@@ -70,17 +75,28 @@ func (a *admission) release(cost int64, seconds float64) {
 	a.rate = alpha*obs + (1-alpha)*a.rate
 }
 
+// coldStartRetryAfter is the Retry-After (seconds) handed out while
+// the retire-rate estimate is still empty: the budget is exhausted but
+// no job has ever retired, so there is no denominator for a real
+// estimate. Returning the 1-second floor there tells every rejected
+// client to hammer a server that has demonstrably never freed
+// capacity; a fixed mid-range default keeps the first wave of retries
+// spread out until real retirements calibrate the estimator.
+const coldStartRetryAfter = 5
+
 // retryAfter estimates, in whole seconds, how long until enough
 // in-flight cost retires for a job of the given cost to fit — the
 // Retry-After a 429 carries. Clamped to [1, 60]: sub-second estimates
-// round up, and beyond a minute the estimate is noise.
+// round up, and beyond a minute the estimate is noise. With no
+// observed retire rate yet (cold start) it returns the bounded
+// coldStartRetryAfter default instead of a degenerate estimate.
 func (a *admission) retryAfter(cost int64) int {
 	excess := a.inflight + cost - a.budget
 	if excess <= 0 {
 		return 1
 	}
 	if a.rate <= 0 {
-		return 1
+		return coldStartRetryAfter
 	}
 	secs := int(float64(excess)/a.rate + 0.999)
 	if secs < 1 {

@@ -191,3 +191,31 @@ func TestAdmissionCacheHitsBypass(t *testing.T) {
 		t.Fatalf("cached request during budget exhaustion: status %d view %+v", code, view)
 	}
 }
+
+// A cold estimator (no job has ever retired, so the EWMA retire rate
+// is zero) must hand out the bounded default Retry-After, not the
+// degenerate 1-second floor that tells every rejected client to hammer
+// a server that has never freed capacity.
+func TestAdmissionColdStartRetryAfter(t *testing.T) {
+	a := admission{budget: 100}
+	if !a.admit(100) {
+		t.Fatal("idle budget refused its first job")
+	}
+	if got := a.retryAfter(50); got != coldStartRetryAfter {
+		t.Fatalf("cold-start retryAfter = %d, want %d", got, coldStartRetryAfter)
+	}
+	if coldStartRetryAfter < 1 || coldStartRetryAfter > 60 {
+		t.Fatalf("coldStartRetryAfter = %d escapes the [1, 60] clamp", coldStartRetryAfter)
+	}
+
+	// Once a retirement calibrates the rate, the real estimate takes
+	// over: 100 cost units retiring per second puts a 50-unit wait at
+	// one second, not the cold default.
+	a.release(100, 1.0)
+	if !a.admit(100) {
+		t.Fatal("refilled budget refused")
+	}
+	if got := a.retryAfter(50); got == coldStartRetryAfter || got < 1 {
+		t.Fatalf("calibrated retryAfter = %d, still the cold default", got)
+	}
+}

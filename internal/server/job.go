@@ -9,6 +9,7 @@ import (
 
 	"qaoaml/internal/problem"
 	"qaoaml/internal/qaoa"
+	"qaoaml/internal/telemetry"
 )
 
 // JobState is the lifecycle of one solve job.
@@ -77,6 +78,11 @@ type Job struct {
 	// arena is the owning worker's buffer arena, set by that worker
 	// just before runJob and read only on its goroutine.
 	arena *qaoa.Arena
+
+	// bus streams per-iteration optimizer traces to SSE subscribers.
+	// Fresh jobs get one at submission; cache hits (born terminal) have
+	// none. Closed exactly once when the job reaches a terminal state.
+	bus *eventBus
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -160,7 +166,18 @@ func (j *Job) finish(state JobState, res *SolveResult, errMsg string) bool {
 	j.mu.Unlock()
 	j.cancel() // release the deadline timer
 	close(j.done)
+	if j.bus != nil {
+		j.bus.close()
+	}
 	return true
+}
+
+// publish forwards one iteration event to the job's SSE subscribers;
+// safe to call with no bus (cache hits) or concurrently with finish.
+func (j *Job) publish(ev telemetry.IterEvent) {
+	if j.bus != nil {
+		j.bus.publish(ev)
+	}
 }
 
 // finishFromQueued is finish restricted to jobs that never started —
@@ -179,6 +196,9 @@ func (j *Job) finishFromQueued(state JobState, errMsg string) bool {
 	j.mu.Unlock()
 	j.cancel()
 	close(j.done)
+	if j.bus != nil {
+		j.bus.close()
+	}
 	return true
 }
 

@@ -61,7 +61,9 @@ type Config struct {
 	// QueueDepth bounds the job queue (default 64). A full queue rejects
 	// submissions with 429 + Retry-After.
 	QueueDepth int
-	// CacheSize bounds the LRU result cache entries (default 256).
+	// CacheSize bounds the LRU result cache entries (default 256;
+	// negative disables caching — a coordinator that defers entirely to
+	// the worker-owned cache shards).
 	CacheSize int
 	// MaxJobs bounds retained finished job records (default 1024).
 	MaxJobs int
@@ -91,6 +93,16 @@ type Config struct {
 	// Recorder receives all server and optimizer telemetry (nil: a
 	// fresh telemetry.Memory, exposed via Metrics).
 	Recorder *telemetry.Memory
+	// Journal, when non-nil, durably records accepted jobs and terminal
+	// outcomes (see internal/cluster's WAL); a crash then loses no
+	// accepted work. Nil: no journaling.
+	Journal Journal
+	// Dispatcher, when non-nil, runs solves remotely instead of on the
+	// local worker pool — the coordinator role. Admission, dedup,
+	// caching and journaling stay local; only the optimization is
+	// dispatched. Nil: solve in process (single-process and worker
+	// roles).
+	Dispatcher Dispatcher
 }
 
 func (c Config) withDefaults() Config {
@@ -100,8 +112,11 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
-	if c.CacheSize <= 0 {
+	if c.CacheSize == 0 {
 		c.CacheSize = 256
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0 // negative disables caching (fleet tests, cache-owner routing)
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
@@ -243,7 +258,7 @@ func New(cfg Config) *Server {
 	if reg == nil {
 		reg, _ = NewRegistry("")
 	}
-	for _, route := range []string{"solve", "batch", "jobs", "healthz", "metrics"} {
+	for _, route := range []string{"solve", "batch", "jobs", "events", "healthz", "metrics"} {
 		mem.DefineBuckets("server.http."+route+"_ms", telemetry.ExpBuckets(0.25, 2, 18))
 	}
 	s := &Server{
@@ -262,6 +277,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/solve", s.timed("solve", s.handleSolve))
 	s.mux.HandleFunc("POST /v1/solve/batch", s.timed("batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.timed("jobs", s.handleJobGet))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.timed("events", s.handleJobEvents))
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.timed("jobs", s.handleJobCancel))
 	s.mux.HandleFunc("GET /healthz", s.timed("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.timed("metrics", s.handleMetrics))
@@ -609,6 +625,15 @@ func (s *Server) submit(req SolveRequest, spec problem.Spec) (*Job, submitOutcom
 		}
 	}
 
+	// Claim a queue slot before journaling: only submit pushes (under
+	// mu), so a capacity check here guarantees the send below cannot
+	// block, and a full queue is rejected before anything hits the WAL.
+	if len(s.queue) >= cap(s.queue) {
+		s.adm.unadmit(cost)
+		s.mem.Count("server.http.backpressure", 1)
+		return nil, 0, &httpError{code: http.StatusTooManyRequests, msg: "job queue full, retry later"}
+	}
+
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {
 		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
@@ -616,20 +641,27 @@ func (s *Server) submit(req SolveRequest, spec problem.Spec) (*Job, submitOutcom
 			timeout = s.cfg.MaxTimeout
 		}
 	}
+
+	// Journal the acceptance before the job becomes visible: once the
+	// client sees its 202 the work survives kill -9. A journal failure
+	// refuses the job — an unjournalable acceptance would be a silent
+	// hole in the durability contract.
+	if s.cfg.Journal != nil {
+		if err := s.cfg.Journal.Accepted(key, fp, req); err != nil {
+			s.adm.unadmit(cost)
+			s.mem.Count("server.journal.errors", 1)
+			return nil, 0, &httpError{code: http.StatusServiceUnavailable, msg: fmt.Sprintf("journaling job: %v", err)}
+		}
+		s.mem.Count("server.journal.accepted", 1)
+	}
+
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 	job := &Job{
 		ID: s.jobs.nextID(), Key: key, req: req, spec: spec, fp: fp, cost: cost,
 		ctx: ctx, cancel: cancel, done: make(chan struct{}),
-		state: StateQueued, enqueued: time.Now(),
+		state: StateQueued, enqueued: time.Now(), bus: newEventBus(),
 	}
-	select {
-	case s.queue <- job:
-	default:
-		cancel()
-		s.adm.unadmit(cost)
-		s.mem.Count("server.http.backpressure", 1)
-		return nil, 0, &httpError{code: http.StatusTooManyRequests, msg: "job queue full, retry later"}
-	}
+	s.queue <- job // cannot block: capacity checked above under mu
 	s.mem.Count("server.cost.inflight", cost)
 	s.jobs.add(job)
 	s.inflight[key] = job
@@ -695,11 +727,24 @@ func (s *Server) afterFinish(j *Job, state JobState) {
 	if j.cost > 0 {
 		s.mem.Count("server.cost.inflight", -j.cost)
 	}
+	var res *SolveResult
 	if state == StateDone {
 		j.mu.Lock()
-		res := j.result
+		res = j.result
 		j.mu.Unlock()
 		s.cache.Add(j.Key, res)
+	}
+	// Journal the terminal outcome: done jobs carry their result (the
+	// WAL replays it into the cache on recovery), failed and cancelled
+	// jobs are settled with nil (recovery must not re-run them). A
+	// failure here is counted, not fatal — the job already finished,
+	// and the worst case is a wasted re-solve after a crash.
+	if s.cfg.Journal != nil {
+		if err := s.cfg.Journal.Completed(j.Key, res); err != nil {
+			s.mem.Count("server.journal.errors", 1)
+		} else {
+			s.mem.Count("server.journal.completed", 1)
+		}
 	}
 	s.mem.Count("server.jobs."+string(state), 1)
 }
@@ -762,8 +807,16 @@ func cancelMsg(ctx context.Context) string {
 
 // runSolve executes one job through the core flows. The recorder is the
 // server sink, so optimizer counters (optimize.fev_total etc.) surface
-// in /metrics — including the fact that a cache hit adds none.
+// in /metrics — including the fact that a cache hit adds none — teed so
+// per-iteration traces also reach the job's SSE subscribers. With a
+// Dispatcher configured (coordinator role) the solve runs on a remote
+// worker instead; the dispatcher relays the worker's trace events into
+// the same bus, so streaming clients cannot tell the difference.
 func (s *Server) runSolve(ctx context.Context, job *Job) (*SolveResult, error) {
+	if s.cfg.Dispatcher != nil {
+		return s.cfg.Dispatcher.Dispatch(ctx, job.req, job.fp, job.cost, job.publish)
+	}
+	rec := telemetry.Tee(s.mem, job.publish)
 	pb, err := qaoa.New(job.spec)
 	if err != nil {
 		return nil, err
@@ -773,7 +826,7 @@ func (s *Server) runSolve(ctx context.Context, job *Job) (*SolveResult, error) {
 	var res *SolveResult
 	switch job.req.Strategy {
 	case StrategyNaive:
-		r, err := core.NaiveRunArena(ctx, job.arena, pb, job.req.Depth, opt, rng, s.mem)
+		r, err := core.NaiveRunArena(ctx, job.arena, pb, job.req.Depth, opt, rng, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -787,7 +840,7 @@ func (s *Server) runSolve(ctx context.Context, job *Job) (*SolveResult, error) {
 		if !ok {
 			return nil, fmt.Errorf("model %q disappeared from the registry", job.req.Model)
 		}
-		r, err := core.TwoLevelArena(ctx, job.arena, pb, job.req.Depth, opt, pred, rng, s.mem)
+		r, err := core.TwoLevelArena(ctx, job.arena, pb, job.req.Depth, opt, pred, rng, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -953,8 +1006,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if draining {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
+	mode := "local"
+	if s.cfg.Dispatcher != nil {
+		mode = "coordinator"
+	}
 	writeJSON(w, code, map[string]any{
 		"status":        status,
+		"mode":          mode,
+		"journaled":     s.cfg.Journal != nil,
 		"api_version":   APIVersion,
 		"problems":      problem.Families(),
 		"queue_depth":   queued,

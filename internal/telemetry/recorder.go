@@ -69,3 +69,31 @@ func OrNop(rec Recorder) Recorder {
 	}
 	return rec
 }
+
+// tee forwards everything to the primary Recorder and additionally
+// copies Iteration events to a callback. It is how a consumer taps the
+// per-iteration trace stream of one producer (e.g. to stream optimizer
+// progress to a waiting client) without forking the counter and
+// histogram aggregation away from the shared sink.
+type tee struct {
+	Recorder
+	onIter func(IterEvent)
+}
+
+// Tee returns a Recorder that behaves exactly like primary, except that
+// every Iteration event is also passed to onIter (after the primary has
+// seen it). onIter must be safe for concurrent use if the producer is
+// concurrent. A nil onIter returns primary unchanged.
+func Tee(primary Recorder, onIter func(IterEvent)) Recorder {
+	primary = OrNop(primary)
+	if onIter == nil {
+		return primary
+	}
+	return tee{Recorder: primary, onIter: onIter}
+}
+
+// Iteration implements Recorder.
+func (t tee) Iteration(ev IterEvent) {
+	t.Recorder.Iteration(ev)
+	t.onIter(ev)
+}
